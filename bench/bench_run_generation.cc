@@ -1,0 +1,77 @@
+// Section 3 / Section 5 run generation: merging single-row runs (one big
+// tournament), cache-sized mini-runs, replacement selection (longer runs,
+// one extra comparison per row), and the std::sort baseline. Reports run
+// counts next to time: replacement selection halves the run count.
+
+#include <algorithm>
+
+#include <benchmark/benchmark.h>
+
+#include "bench_util.h"
+#include "sort/external_sort.h"
+
+namespace ovc {
+namespace {
+
+constexpr uint64_t kRows = 1000000;
+constexpr uint64_t kMemoryRows = 1 << 16;
+constexpr uint32_t kArity = 4;
+constexpr uint64_t kDistinct = 16;
+
+const RowBuffer& GetTable() {
+  static const RowBuffer* table = [] {
+    Schema schema(kArity);
+    return new RowBuffer(
+        bench::MakeTable(schema, kRows, kDistinct, /*seed=*/55));
+  }();
+  return *table;
+}
+
+void RunGen(benchmark::State& state, RunGenMode mode,
+            bool replacement_selection) {
+  Schema schema(kArity);
+  const RowBuffer& table = GetTable();
+  QueryCounters counters;
+  uint64_t runs = 0;
+  for (auto _ : state) {
+    TempFileManager temp;
+    SortConfig config;
+    config.memory_rows = kMemoryRows;
+    config.run_gen = mode;
+    config.replacement_selection = replacement_selection;
+    ExternalSort sort(&schema, &counters, &temp, config);
+    for (size_t i = 0; i < table.size(); ++i) sort.Add(table.row(i));
+    OVC_CHECK_OK(sort.Finish());
+    RowRef ref;
+    uint64_t n = 0;
+    while (sort.Next(&ref)) ++n;
+    benchmark::DoNotOptimize(n);
+    runs = sort.spilled_runs();
+  }
+  state.SetItemsProcessed(state.iterations() * kRows);
+  state.counters["initial_runs"] = static_cast<double>(runs);
+  state.counters["column_cmp_per_row"] =
+      static_cast<double>(counters.column_comparisons) /
+      (static_cast<double>(state.iterations()) * kRows);
+}
+
+void SingleRowRuns(benchmark::State& state) {
+  RunGen(state, RunGenMode::kPqSingleRowRuns, false);
+}
+void MiniRuns(benchmark::State& state) {
+  RunGen(state, RunGenMode::kPqMiniRuns, false);
+}
+void StdSortRuns(benchmark::State& state) {
+  RunGen(state, RunGenMode::kStdSort, false);
+}
+void ReplacementSelectionRuns(benchmark::State& state) {
+  RunGen(state, RunGenMode::kPqSingleRowRuns, true);
+}
+
+BENCHMARK(SingleRowRuns)->Unit(benchmark::kMillisecond);
+BENCHMARK(MiniRuns)->Unit(benchmark::kMillisecond);
+BENCHMARK(StdSortRuns)->Unit(benchmark::kMillisecond);
+BENCHMARK(ReplacementSelectionRuns)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace ovc

@@ -1,0 +1,78 @@
+// Table 1 operational form: deriving offset-value codes for a sorted
+// stream. Prices the naive row-by-row, column-by-column derivation (the
+// "only method known to-date" the paper's introduction refers to) for
+// ascending and descending coding, against consuming precomputed codes from
+// storage (prefix-truncated runs give codes for free).
+
+#include <benchmark/benchmark.h>
+
+#include "bench_util.h"
+#include "core/ovc_reference.h"
+
+namespace ovc {
+namespace {
+
+constexpr uint64_t kRows = 1000000;
+constexpr uint32_t kArity = 4;
+constexpr uint64_t kDistinct = 16;
+
+const RowBuffer& SortedTable() {
+  static const RowBuffer* table = [] {
+    Schema schema(kArity);
+    return new RowBuffer(
+        bench::MakeTable(schema, kRows, kDistinct, /*seed=*/11,
+                         /*sorted=*/true));
+  }();
+  return *table;
+}
+
+void NaiveAscendingDerivation(benchmark::State& state) {
+  Schema schema(kArity);
+  OvcCodec codec(&schema);
+  const RowBuffer& table = SortedTable();
+  for (auto _ : state) {
+    Ovc sum = 0;
+    for (size_t i = 1; i < table.size(); ++i) {
+      sum ^= reference::AscendingOvc(codec, table.row(i - 1), table.row(i));
+    }
+    benchmark::DoNotOptimize(sum);
+  }
+  state.SetItemsProcessed(state.iterations() * kRows);
+}
+
+void NaiveDescendingDerivation(benchmark::State& state) {
+  Schema schema(kArity);
+  DescendingOvcCodec codec(&schema);
+  const RowBuffer& table = SortedTable();
+  for (auto _ : state) {
+    Ovc sum = 0;
+    for (size_t i = 1; i < table.size(); ++i) {
+      sum ^= reference::DescendingOvc(codec, table.row(i - 1), table.row(i));
+    }
+    benchmark::DoNotOptimize(sum);
+  }
+  state.SetItemsProcessed(state.iterations() * kRows);
+}
+
+void PrecomputedCodesFromRun(benchmark::State& state) {
+  // The alternative Section 4.12 recommends: ordered storage keeps the
+  // codes; a scan only reads them.
+  Schema schema(kArity);
+  static const InMemoryRun* run =
+      new InMemoryRun(bench::RunFromSorted(schema, SortedTable()));
+  for (auto _ : state) {
+    Ovc sum = 0;
+    for (size_t i = 0; i < run->size(); ++i) {
+      sum ^= run->code(i);
+    }
+    benchmark::DoNotOptimize(sum);
+  }
+  state.SetItemsProcessed(state.iterations() * kRows);
+}
+
+BENCHMARK(NaiveAscendingDerivation)->Unit(benchmark::kMillisecond);
+BENCHMARK(NaiveDescendingDerivation)->Unit(benchmark::kMillisecond);
+BENCHMARK(PrecomputedCodesFromRun)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace ovc

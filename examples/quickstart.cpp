@@ -1,0 +1,76 @@
+// Quickstart: sort a table with offset-value codes, inspect the codes, and
+// run an in-stream aggregation that detects group boundaries with a single
+// integer test per row.
+//
+//   ./build/examples/quickstart
+
+#include <cstdio>
+
+#include "common/counters.h"
+#include "common/temp_file.h"
+#include "exec/aggregate.h"
+#include "exec/scan.h"
+#include "exec/sort_operator.h"
+#include "row/generator.h"
+
+using namespace ovc;
+
+int main() {
+  // A table shaped like the paper's evaluation data: 4 key columns of
+  // 8-byte integers with few distinct values, one payload column.
+  Schema schema(/*key_arity=*/4, /*payload_columns=*/1);
+  RowBuffer table(schema.total_columns());
+  GeneratorConfig config;
+  config.rows = 1000000;
+  config.distinct_per_column = 4;
+  config.seed = 42;
+  GenerateRows(schema, config, &table);
+
+  QueryCounters counters;
+  TempFileManager temp;
+
+  // Sort: tree-of-losers run generation + merge; every output row carries
+  // its offset-value code relative to the previous row.
+  BufferScan scan(&schema, &table);
+  SortConfig sort_config;
+  sort_config.memory_rows = 1 << 16;  // forces spilling + merging
+  SortOperator sort(&scan, &counters, &temp, sort_config);
+
+  // Group by the first two key columns; boundaries come from the codes.
+  InStreamAggregate agg(&sort, /*group_prefix=*/2,
+                        {{AggFn::kCount, 0}, {AggFn::kSum, 4}}, &counters);
+
+  agg.Open();
+  OvcCodec out_codec(&agg.schema());
+  RowRef ref;
+  uint64_t groups = 0;
+  std::printf("first groups (key0 key1 | count sum | code):\n");
+  while (agg.Next(&ref)) {
+    if (groups < 5) {
+      std::printf("  %3lu %3lu | %8lu %14lu | %s\n",
+                  static_cast<unsigned long>(ref.cols[0]),
+                  static_cast<unsigned long>(ref.cols[1]),
+                  static_cast<unsigned long>(ref.cols[2]),
+                  static_cast<unsigned long>(ref.cols[3]),
+                  out_codec.ToString(ref.ovc).c_str());
+    }
+    ++groups;
+  }
+  agg.Close();
+
+  std::printf("\nrows sorted:          %lu\n",
+              static_cast<unsigned long>(config.rows));
+  std::printf("groups produced:      %lu\n",
+              static_cast<unsigned long>(groups));
+  std::printf("column comparisons:   %lu (N x K bound: %lu)\n",
+              static_cast<unsigned long>(counters.column_comparisons),
+              static_cast<unsigned long>(config.rows * schema.key_arity() *
+                                         2));  // run gen + merge
+  std::printf("code comparisons:     %lu (single-instruction each)\n",
+              static_cast<unsigned long>(counters.code_comparisons));
+  std::printf("rows spilled:         %lu\n",
+              static_cast<unsigned long>(counters.rows_spilled));
+  std::printf("merge bypass rows:    %lu (duplicate fast path, Section 5)\n",
+              static_cast<unsigned long>(counters.merge_bypass_rows));
+  return 0;
+}

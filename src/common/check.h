@@ -1,0 +1,42 @@
+// Invariant-checking macros.
+//
+// The library follows the Google C++ style guide and does not throw
+// exceptions. Programming errors (violated preconditions, corrupted
+// invariants) abort via OVC_CHECK; recoverable runtime errors (I/O) are
+// reported through Status / StatusOr (see common/status.h).
+
+#ifndef OVC_COMMON_CHECK_H_
+#define OVC_COMMON_CHECK_H_
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace ovc::internal {
+
+[[noreturn]] inline void CheckFailed(const char* file, int line,
+                                     const char* expr) {
+  std::fprintf(stderr, "OVC_CHECK failed at %s:%d: %s\n", file, line, expr);
+  std::abort();
+}
+
+}  // namespace ovc::internal
+
+/// Aborts the process when `expr` is false. Enabled in all build types:
+/// invariants guarded by OVC_CHECK are cheap relative to the work they guard.
+#define OVC_CHECK(expr)                                        \
+  do {                                                         \
+    if (!(expr)) {                                             \
+      ::ovc::internal::CheckFailed(__FILE__, __LINE__, #expr); \
+    }                                                          \
+  } while (0)
+
+/// Debug-only check for hot paths (per-row, per-comparison invariants).
+#ifndef NDEBUG
+#define OVC_DCHECK(expr) OVC_CHECK(expr)
+#else
+#define OVC_DCHECK(expr) \
+  do {                   \
+  } while (0)
+#endif
+
+#endif  // OVC_COMMON_CHECK_H_

@@ -1,0 +1,68 @@
+// Instrumentation counters.
+//
+// The paper's cost model is stated in terms of *column value comparisons*
+// (bounded by N x K, with no log N factor) and *code comparisons* (folded
+// into other work, effectively free). Every comparator and operator in this
+// library counts its work through a QueryCounters instance so that tests can
+// assert the paper's bounds and benchmarks can report comparison counts next
+// to wall-clock time.
+
+#ifndef OVC_COMMON_COUNTERS_H_
+#define OVC_COMMON_COUNTERS_H_
+
+#include <cstdint>
+#include <string>
+
+namespace ovc {
+
+/// Work counters threaded through comparators, operators, and storage.
+/// Not thread-safe; each execution thread owns its own instance and parallel
+/// operators (exchange) aggregate at the end.
+struct QueryCounters {
+  /// Individual column-value comparisons (the expensive kind the paper
+  /// bounds by N x K).
+  uint64_t column_comparisons = 0;
+  /// Integer comparisons of whole offset-value codes (the cheap kind;
+  /// "practically free" when folded into validity tests).
+  uint64_t code_comparisons = 0;
+  /// Full row comparisons requested (each may cost several column
+  /// comparisons).
+  uint64_t row_comparisons = 0;
+  /// Hash computations over key columns (hash-based baselines).
+  uint64_t hash_computations = 0;
+  /// Rows written to temporary storage (spill volume, Figure 6 discussion).
+  uint64_t rows_spilled = 0;
+  /// Bytes written to temporary storage.
+  uint64_t bytes_spilled = 0;
+  /// Rows that bypassed merge logic because their code marked them as
+  /// duplicates of the previous winner (Section 5).
+  uint64_t merge_bypass_rows = 0;
+
+  /// Adds all counts from `other` into this instance.
+  void Merge(const QueryCounters& other) {
+    column_comparisons += other.column_comparisons;
+    code_comparisons += other.code_comparisons;
+    row_comparisons += other.row_comparisons;
+    hash_computations += other.hash_computations;
+    rows_spilled += other.rows_spilled;
+    bytes_spilled += other.bytes_spilled;
+    merge_bypass_rows += other.merge_bypass_rows;
+  }
+
+  /// Resets all counts to zero.
+  void Reset() { *this = QueryCounters(); }
+
+  /// One-line human-readable summary for examples and benchmarks.
+  std::string ToString() const {
+    return "column_cmp=" + std::to_string(column_comparisons) +
+           " code_cmp=" + std::to_string(code_comparisons) +
+           " row_cmp=" + std::to_string(row_comparisons) +
+           " hash=" + std::to_string(hash_computations) +
+           " rows_spilled=" + std::to_string(rows_spilled) +
+           " merge_bypass=" + std::to_string(merge_bypass_rows);
+  }
+};
+
+}  // namespace ovc
+
+#endif  // OVC_COMMON_COUNTERS_H_

@@ -1,0 +1,125 @@
+// Minimal Status / StatusOr for fallible operations (mostly file I/O).
+//
+// The library does not use exceptions. Functions that can fail at runtime
+// return Status or StatusOr<T>; functions whose failure would be a caller
+// bug use OVC_CHECK instead.
+
+#ifndef OVC_COMMON_STATUS_H_
+#define OVC_COMMON_STATUS_H_
+
+#include <string>
+#include <utility>
+
+#include "common/check.h"
+
+namespace ovc {
+
+/// Error categories used across the library.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kNotFound,
+  kIoError,
+  kResourceExhausted,
+  kInternal,
+};
+
+/// Returns a short human-readable name for `code` ("OK", "IO_ERROR", ...).
+const char* StatusCodeName(StatusCode code);
+
+/// A success-or-error result. Cheap to copy on the success path (no
+/// allocation); error path carries a message.
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() : code_(StatusCode::kOk) {}
+  /// Constructs a status with `code` and a diagnostic `message`.
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status Ok() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status IoError(std::string msg) {
+    return Status(StatusCode::kIoError, std::move(msg));
+  }
+  static Status ResourceExhausted(std::string msg) {
+    return Status(StatusCode::kResourceExhausted, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// Formats as "CODE: message" (or "OK").
+  std::string ToString() const;
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+/// Holds either a value of type T or an error Status.
+template <typename T>
+class StatusOr {
+ public:
+  /// Implicit from value: allows `return some_t;`.
+  StatusOr(T value) : status_(), value_(std::move(value)) {}  // NOLINT
+  /// Implicit from error status; `status` must not be OK.
+  StatusOr(Status status) : status_(std::move(status)) {  // NOLINT
+    OVC_CHECK(!status_.ok());
+  }
+
+  bool ok() const { return status_.ok(); }
+  const Status& status() const { return status_; }
+
+  /// Returns the contained value; requires ok().
+  const T& value() const& {
+    OVC_CHECK(ok());
+    return value_;
+  }
+  T& value() & {
+    OVC_CHECK(ok());
+    return value_;
+  }
+  T&& value() && {
+    OVC_CHECK(ok());
+    return std::move(value_);
+  }
+
+ private:
+  Status status_;
+  T value_{};
+};
+
+/// Propagates a non-OK status to the caller.
+#define OVC_RETURN_IF_ERROR(expr)          \
+  do {                                     \
+    ::ovc::Status _ovc_status = (expr);    \
+    if (!_ovc_status.ok()) {               \
+      return _ovc_status;                  \
+    }                                      \
+  } while (0)
+
+/// Aborts if `expr` yields a non-OK status. For callers (tests, examples,
+/// benchmarks) where an I/O failure is unrecoverable.
+#define OVC_CHECK_OK(expr)                                              \
+  do {                                                                  \
+    ::ovc::Status _ovc_status = (expr);                                 \
+    if (!_ovc_status.ok()) {                                            \
+      std::fprintf(stderr, "OVC_CHECK_OK failed at %s:%d: %s\n",        \
+                   __FILE__, __LINE__, _ovc_status.ToString().c_str()); \
+      std::abort();                                                     \
+    }                                                                   \
+  } while (0)
+
+}  // namespace ovc
+
+#endif  // OVC_COMMON_STATUS_H_

@@ -1,0 +1,131 @@
+#include "common/temp_file.h"
+
+#include <unistd.h>
+
+#include <atomic>
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+
+#include "common/check.h"
+
+namespace ovc {
+
+namespace fs = std::filesystem;
+
+TempFileManager::TempFileManager(const std::string& base_dir) {
+  fs::path base =
+      base_dir.empty() ? fs::temp_directory_path() : fs::path(base_dir);
+  // std::filesystem has no mkdtemp equivalent; pid + per-process counter is
+  // unique enough for a scratch directory.
+  static std::atomic<uint64_t> instance_counter{0};
+  uint64_t id = instance_counter.fetch_add(1);
+  fs::path dir = base / ("ovc-scratch-" + std::to_string(::getpid()) + "-" +
+                         std::to_string(id));
+  std::error_code ec;
+  fs::create_directories(dir, ec);
+  OVC_CHECK(!ec);
+  dir_ = dir.string();
+}
+
+TempFileManager::~TempFileManager() {
+  std::error_code ec;
+  fs::remove_all(dir_, ec);
+  // Best effort; nothing to do on failure in a destructor.
+}
+
+std::string TempFileManager::NewPath(const std::string& tag) {
+  return dir_ + "/" + tag + "-" + std::to_string(next_id_++);
+}
+
+FileWriter::~FileWriter() {
+  if (file_ != nullptr) {
+    std::fclose(static_cast<FILE*>(file_));
+  }
+}
+
+Status FileWriter::Open(const std::string& path) {
+  OVC_CHECK(file_ == nullptr);
+  FILE* f = std::fopen(path.c_str(), "wb");
+  if (f == nullptr) {
+    return Status::IoError("open for write failed: " + path + ": " +
+                           std::strerror(errno));
+  }
+  file_ = f;
+  path_ = path;
+  bytes_written_ = 0;
+  return Status::Ok();
+}
+
+Status FileWriter::Write(const void* data, size_t len) {
+  OVC_DCHECK(file_ != nullptr);
+  if (std::fwrite(data, 1, len, static_cast<FILE*>(file_)) != len) {
+    return Status::IoError("write failed: " + path_);
+  }
+  bytes_written_ += len;
+  return Status::Ok();
+}
+
+Status FileWriter::Close() {
+  if (file_ == nullptr) {
+    return Status::Ok();
+  }
+  int rc = std::fclose(static_cast<FILE*>(file_));
+  file_ = nullptr;
+  if (rc != 0) {
+    return Status::IoError("close failed: " + path_);
+  }
+  return Status::Ok();
+}
+
+FileReader::~FileReader() {
+  if (file_ != nullptr) {
+    std::fclose(static_cast<FILE*>(file_));
+  }
+}
+
+Status FileReader::Open(const std::string& path) {
+  OVC_CHECK(file_ == nullptr);
+  FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) {
+    return Status::IoError("open for read failed: " + path + ": " +
+                           std::strerror(errno));
+  }
+  file_ = f;
+  path_ = path;
+  return Status::Ok();
+}
+
+Status FileReader::Read(void* data, size_t len) {
+  OVC_DCHECK(file_ != nullptr);
+  if (std::fread(data, 1, len, static_cast<FILE*>(file_)) != len) {
+    return Status::IoError("short read: " + path_);
+  }
+  return Status::Ok();
+}
+
+bool FileReader::AtEof() {
+  OVC_DCHECK(file_ != nullptr);
+  FILE* f = static_cast<FILE*>(file_);
+  int c = std::fgetc(f);
+  if (c == EOF) {
+    return true;
+  }
+  std::ungetc(c, f);
+  return false;
+}
+
+Status FileReader::Close() {
+  if (file_ == nullptr) {
+    return Status::Ok();
+  }
+  int rc = std::fclose(static_cast<FILE*>(file_));
+  file_ = nullptr;
+  if (rc != 0) {
+    return Status::IoError("close failed: " + path_);
+  }
+  return Status::Ok();
+}
+
+}  // namespace ovc

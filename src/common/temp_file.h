@@ -1,0 +1,100 @@
+// Temporary-file management for spill runs.
+//
+// External sort, hash aggregation, and hash join spill intermediate data to
+// "temporary storage" (paper, Section 6). This layer creates real files
+// under a per-process scratch directory and deletes them when released.
+
+#ifndef OVC_COMMON_TEMP_FILE_H_
+#define OVC_COMMON_TEMP_FILE_H_
+
+#include <cstdint>
+#include <string>
+
+#include "common/status.h"
+
+namespace ovc {
+
+/// Hands out unique temporary file paths under a scratch directory and
+/// removes the directory on destruction. One instance is typically shared
+/// per query (or per test).
+class TempFileManager {
+ public:
+  /// Creates a fresh scratch directory under the system temp dir (or under
+  /// `base_dir` if non-empty). Aborts if the directory cannot be created.
+  explicit TempFileManager(const std::string& base_dir = "");
+
+  /// Removes the scratch directory and everything in it.
+  ~TempFileManager();
+
+  TempFileManager(const TempFileManager&) = delete;
+  TempFileManager& operator=(const TempFileManager&) = delete;
+
+  /// Returns a unique path (the file is not created). `tag` is embedded in
+  /// the name for debuggability, e.g. "run", "hash-partition".
+  std::string NewPath(const std::string& tag);
+
+  /// The scratch directory this manager owns.
+  const std::string& dir() const { return dir_; }
+
+ private:
+  std::string dir_;
+  uint64_t next_id_ = 0;
+};
+
+/// Buffered sequential writer over a temporary file.
+class FileWriter {
+ public:
+  FileWriter() = default;
+  ~FileWriter();
+  FileWriter(const FileWriter&) = delete;
+  FileWriter& operator=(const FileWriter&) = delete;
+
+  /// Opens `path` for writing, truncating any existing file.
+  Status Open(const std::string& path);
+  /// Appends `len` bytes.
+  Status Write(const void* data, size_t len);
+  /// Appends a little-endian 64-bit value.
+  Status WriteU64(uint64_t v) { return Write(&v, sizeof(v)); }
+  /// Appends a little-endian 32-bit value.
+  Status WriteU32(uint32_t v) { return Write(&v, sizeof(v)); }
+  /// Flushes and closes; returns the first error encountered.
+  Status Close();
+
+  /// Bytes written so far.
+  uint64_t bytes_written() const { return bytes_written_; }
+
+ private:
+  void* file_ = nullptr;  // FILE*
+  uint64_t bytes_written_ = 0;
+  std::string path_;
+};
+
+/// Buffered sequential reader over a temporary file.
+class FileReader {
+ public:
+  FileReader() = default;
+  ~FileReader();
+  FileReader(const FileReader&) = delete;
+  FileReader& operator=(const FileReader&) = delete;
+
+  /// Opens `path` for reading.
+  Status Open(const std::string& path);
+  /// Reads exactly `len` bytes; kIoError on short read.
+  Status Read(void* data, size_t len);
+  /// Reads a little-endian 64-bit value.
+  Status ReadU64(uint64_t* v) { return Read(v, sizeof(*v)); }
+  /// Reads a little-endian 32-bit value.
+  Status ReadU32(uint32_t* v) { return Read(v, sizeof(*v)); }
+  /// True once the reader has consumed the whole file.
+  bool AtEof();
+  /// Closes the file.
+  Status Close();
+
+ private:
+  void* file_ = nullptr;  // FILE*
+  std::string path_;
+};
+
+}  // namespace ovc
+
+#endif  // OVC_COMMON_TEMP_FILE_H_

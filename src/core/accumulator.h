@@ -1,0 +1,63 @@
+// The filter theorem, operational form.
+//
+// Paper, Section 4 ("filter theorem"): for a sorted list of key values
+// X0 < X1 < ... < Xn and ascending coding,
+//     ovc(X0, Xn) = max_{i=1..n} ovc(X_{i-1}, X_i).
+//
+// Operationally: when an order-preserving operator drops rows from a sorted
+// stream (filter, duplicate removal, semi join, anti join, one-to-many
+// shuffle, merge join's unmatched rows, ...), the next *surviving* row's
+// output code is the running maximum of its own input code and the input
+// codes of all rows dropped since the previous surviving row. No column
+// values are touched.
+
+#ifndef OVC_CORE_ACCUMULATOR_H_
+#define OVC_CORE_ACCUMULATOR_H_
+
+#include <algorithm>
+
+#include "core/ovc.h"
+
+namespace ovc {
+
+/// Running-max combiner for ascending offset-value codes.
+///
+/// Usage in a row-dropping operator:
+///   for each input row r:
+///     if (keep(r)) { emit(r.cols, acc.Combine(r.ovc)); acc.Reset(); }
+///     else          acc.Absorb(r.ovc);
+class OvcAccumulator {
+ public:
+  /// Starts (or restarts) an empty accumulation. The early fence is the
+  /// neutral element of max over code words.
+  void Reset() { acc_ = OvcCodec::EarlyFence(); }
+
+  /// Folds the code of a dropped row into the accumulation.
+  void Absorb(Ovc dropped) { acc_ = std::max(acc_, dropped); }
+
+  /// Output code for a surviving row with input code `own`.
+  Ovc Combine(Ovc own) const { return std::max(acc_, own); }
+
+  /// Current accumulated value (early fence when empty).
+  Ovc value() const { return acc_; }
+
+ private:
+  Ovc acc_ = OvcCodec::EarlyFence();
+};
+
+/// The descending-coding dual: the theorem combines with min, and the late
+/// fence is the neutral element. Used by tests exercising both codings.
+class DescendingOvcAccumulator {
+ public:
+  void Reset() { acc_ = OvcCodec::LateFence(); }
+  void Absorb(Ovc dropped) { acc_ = std::min(acc_, dropped); }
+  Ovc Combine(Ovc own) const { return std::min(acc_, own); }
+  Ovc value() const { return acc_; }
+
+ private:
+  Ovc acc_ = OvcCodec::LateFence();
+};
+
+}  // namespace ovc
+
+#endif  // OVC_CORE_ACCUMULATOR_H_

@@ -1,0 +1,105 @@
+#include "core/normalized_key.h"
+
+#include <cstring>
+
+namespace ovc {
+
+NormalizedKey NormalizeKey(const Schema& schema, const uint64_t* row) {
+  NormalizedKey key;
+  key.reserve(schema.key_arity() * sizeof(uint64_t));
+  for (uint32_t c = 0; c < schema.key_arity(); ++c) {
+    const uint64_t v = schema.NormalizedAt(row, c);
+    for (int b = 7; b >= 0; --b) {
+      key.push_back(static_cast<uint8_t>(v >> (8 * b)));
+    }
+  }
+  return key;
+}
+
+ByteOvcCodec::ByteOvcCodec(uint32_t key_bytes, uint32_t block_bytes)
+    : key_bytes_(key_bytes),
+      block_bytes_(block_bytes),
+      blocks_((key_bytes + block_bytes - 1) / block_bytes) {
+  OVC_CHECK(block_bytes >= 1 && block_bytes <= 6);  // block fits 48 bits
+  OVC_CHECK(key_bytes >= 1);
+  OVC_CHECK(blocks_ <= OvcCodec::kMaxArity);
+}
+
+uint64_t ByteOvcCodec::BlockAt(const NormalizedKey& key,
+                               uint32_t block) const {
+  OVC_DCHECK(key.size() == key_bytes_);
+  uint64_t v = 0;
+  const uint32_t begin = block * block_bytes_;
+  for (uint32_t b = 0; b < block_bytes_; ++b) {
+    const uint32_t idx = begin + b;
+    v = (v << 8) | (idx < key_bytes_ ? key[idx] : 0);  // zero-padded tail
+  }
+  return v;
+}
+
+uint32_t ByteOvcCodec::SharedBlocks(const NormalizedKey& a,
+                                    const NormalizedKey& b) const {
+  uint32_t block = 0;
+  while (block < blocks_ && BlockAt(a, block) == BlockAt(b, block)) {
+    ++block;
+  }
+  return block;
+}
+
+Ovc ByteOvcCodec::Make(const NormalizedKey& base,
+                       const NormalizedKey& key) const {
+  const uint32_t offset = SharedBlocks(base, key);
+  if (offset == blocks_) return DuplicateCode();
+  return OvcCodec::kKindValid |
+         (uint64_t{blocks_ - offset} << OvcCodec::kValueBits) |
+         BlockAt(key, offset);
+}
+
+Ovc ByteOvcCodec::MakeInitial(const NormalizedKey& key) const {
+  if (blocks_ == 0) return DuplicateCode();
+  return OvcCodec::kKindValid |
+         (uint64_t{blocks_} << OvcCodec::kValueBits) | BlockAt(key, 0);
+}
+
+uint32_t ByteOvcCodec::OffsetOf(Ovc code) const {
+  OVC_DCHECK(OvcCodec::IsValid(code));
+  return blocks_ - static_cast<uint32_t>((code >> OvcCodec::kValueBits) &
+                                         OvcCodec::kMaxArity);
+}
+
+int ByteOvcCodec::Compare(const NormalizedKey& left, Ovc* left_code,
+                          const NormalizedKey& right, Ovc* right_code,
+                          uint64_t* bytes_compared) const {
+  if (*left_code != *right_code) {
+    // Codes decide; per the unequal-code theorem the loser's code relative
+    // to the winner is unchanged.
+    return *left_code < *right_code ? -1 : 1;
+  }
+  if (!OvcCodec::IsValid(*left_code)) return 0;  // equal fences
+  // Equal codes: blocks are exact (lossless), so comparison resumes past
+  // the shared prefix and value block.
+  uint32_t block = OffsetOf(*left_code);
+  if (block < blocks_) ++block;
+  while (block < blocks_) {
+    const uint64_t lb = BlockAt(left, block);
+    const uint64_t rb = BlockAt(right, block);
+    if (bytes_compared != nullptr) *bytes_compared += block_bytes_;
+    if (lb != rb) {
+      // Loser re-coded relative to the winner at the new offset.
+      const Ovc loser_code = OvcCodec::kKindValid |
+                             (uint64_t{blocks_ - block}
+                              << OvcCodec::kValueBits) |
+                             (lb < rb ? rb : lb);
+      if (lb < rb) {
+        *right_code = loser_code;
+        return -1;
+      }
+      *left_code = loser_code;
+      return 1;
+    }
+    ++block;
+  }
+  return 0;  // keys equal
+}
+
+}  // namespace ovc

@@ -1,0 +1,55 @@
+#include "core/ovc_checker.h"
+
+#include <cstring>
+
+#include "core/ovc_reference.h"
+#include "row/comparator.h"
+
+namespace ovc {
+
+bool OvcStreamChecker::Observe(const uint64_t* row, Ovc code) {
+  ++rows_;
+  Ovc expected;
+  bool sorted_ok = true;
+  if (!has_prev_) {
+    expected = codec_.MakeInitial(row);
+  } else {
+    KeyComparator cmp(schema_, /*counters=*/nullptr);
+    if (cmp.Compare(prev_.row(0), row) > 0) {
+      sorted_ok = false;
+      expected = code;  // unused
+    } else {
+      expected = reference::AscendingOvc(codec_, prev_.row(0), row);
+    }
+  }
+
+  if (!sorted_ok) {
+    Fail("stream not sorted", row, code, /*expected=*/0);
+  } else if (code != expected) {
+    Fail("offset-value code mismatch", row, code, expected);
+  }
+
+  // Remember this row as the next base.
+  prev_.Clear();
+  prev_.AppendRow(row);
+  has_prev_ = true;
+  return error_.empty();
+}
+
+void OvcStreamChecker::Fail(const std::string& what, const uint64_t* row,
+                            Ovc code, Ovc expected) {
+  if (!error_.empty()) return;  // keep the first diagnostic
+  error_ = what + " at row " + std::to_string(rows_ - 1) + ": got " +
+           codec_.ToString(code);
+  if (what != "stream not sorted") {
+    error_ += ", expected " + codec_.ToString(expected);
+  }
+  error_ += ", row=[";
+  for (uint32_t c = 0; c < schema_->total_columns(); ++c) {
+    if (c > 0) error_ += ",";
+    error_ += std::to_string(row[c]);
+  }
+  error_ += "]";
+}
+
+}  // namespace ovc

@@ -1,0 +1,55 @@
+// Stream validity checker.
+//
+// Every operator in this library promises two things about its output:
+// (1) rows are sorted on the output sort key, and (2) each row's offset-value
+// code equals the code a naive row-by-row, column-by-column derivation would
+// produce. OvcStreamChecker verifies both, and is wired into every
+// differential and integration test.
+
+#ifndef OVC_CORE_OVC_CHECKER_H_
+#define OVC_CORE_OVC_CHECKER_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/ovc.h"
+#include "row/row_buffer.h"
+
+namespace ovc {
+
+/// Observes a stream row by row and validates sortedness and code
+/// correctness against the naive recomputation.
+class OvcStreamChecker {
+ public:
+  /// `schema` must outlive the checker.
+  explicit OvcStreamChecker(const Schema* schema)
+      : schema_(schema), codec_(schema), prev_(schema->total_columns()) {}
+
+  /// Feeds the next row. Returns false (and records a diagnostic) on the
+  /// first violation; subsequent rows are still checked against the stream
+  /// so far.
+  bool Observe(const uint64_t* row, Ovc code);
+
+  /// True when no violation has been observed.
+  bool ok() const { return error_.empty(); }
+  /// Description of the first violation, empty when ok().
+  const std::string& error() const { return error_; }
+  /// Rows observed so far.
+  uint64_t rows() const { return rows_; }
+
+ private:
+  void Fail(const std::string& what, const uint64_t* row, Ovc code,
+            Ovc expected);
+
+  const Schema* schema_;
+  OvcCodec codec_;
+  RowBuffer prev_;
+  bool has_prev_ = false;
+  uint64_t rows_ = 0;
+  std::string error_;
+};
+
+}  // namespace ovc
+
+#endif  // OVC_CORE_OVC_CHECKER_H_

@@ -1,0 +1,43 @@
+// The central comparison primitive: compare two keys that are coded relative
+// to the same base, updating the loser's code relative to the winner.
+//
+// This implements both of Iyer's corollaries from Section 4 of the paper:
+//
+//  * Unequal-code theorem: if the codes (relative to the shared base) decide
+//    the comparison, the loser's code relative to the winner equals its old
+//    code -- nothing to recompute.
+//  * Equal-code theorem: if the codes are equal, the keys' first difference
+//    lies past the shared prefix and value; column-value comparisons resume
+//    there, and the loser's new code is (first-difference index, loser's
+//    value at that index).
+//
+// Every code comparison and every column-value comparison is counted through
+// the comparator's QueryCounters.
+
+#ifndef OVC_CORE_OVC_COMPARE_H_
+#define OVC_CORE_OVC_COMPARE_H_
+
+#include "core/ovc.h"
+#include "row/comparator.h"
+
+namespace ovc {
+
+/// Compares the sort keys of `left` and `right`, both of whose codes are
+/// relative to the same base key that sorts no later than either.
+///
+/// Returns <0 when left sorts earlier, >0 when right sorts earlier, 0 when
+/// the keys are equal. On a decided comparison (non-zero result) the
+/// *loser's* code is updated in place to be relative to the winner; the
+/// winner's code is never touched. On equality neither code is changed --
+/// the caller decides which row to emit first (e.g. by input index, for a
+/// stable merge) and gives the other the duplicate code.
+///
+/// Fences participate: an early fence sorts before everything, a late fence
+/// after everything, and no column comparisons are spent on them.
+int CompareWithOvc(const OvcCodec& codec, const KeyComparator& comparator,
+                   const uint64_t* left_row, Ovc* left_code,
+                   const uint64_t* right_row, Ovc* right_code);
+
+}  // namespace ovc
+
+#endif  // OVC_CORE_OVC_COMPARE_H_

@@ -1,0 +1,44 @@
+#include "core/ovc_reference.h"
+
+namespace ovc::reference {
+
+uint32_t SharedPrefix(const Schema& schema, const uint64_t* a,
+                      const uint64_t* b) {
+  uint32_t i = 0;
+  while (i < schema.key_arity() &&
+         schema.NormalizedAt(a, i) == schema.NormalizedAt(b, i)) {
+    ++i;
+  }
+  return i;
+}
+
+Ovc AscendingOvc(const OvcCodec& codec, const uint64_t* base,
+                 const uint64_t* row) {
+  const uint32_t offset = SharedPrefix(codec.schema(), base, row);
+  return codec.MakeFromRow(row, offset);
+}
+
+Ovc DescendingOvc(const DescendingOvcCodec& codec, const uint64_t* base,
+                  const uint64_t* row) {
+  Schema plain(codec.arity());
+  const uint32_t offset = SharedPrefix(plain, base, row);
+  return codec.MakeFromRow(row, offset);
+}
+
+uint64_t ToyAscendingOvc(uint32_t arity, uint64_t domain, const uint64_t* base,
+                         const uint64_t* row) {
+  Schema plain(arity);
+  const uint32_t offset = SharedPrefix(plain, base, row);
+  if (offset == arity) return 0;
+  return (arity - offset) * domain + row[offset];
+}
+
+uint64_t ToyDescendingOvc(uint32_t arity, uint64_t domain,
+                          const uint64_t* base, const uint64_t* row) {
+  Schema plain(arity);
+  const uint32_t offset = SharedPrefix(plain, base, row);
+  if (offset == arity) return arity * domain;
+  return offset * domain + (domain - row[offset]);
+}
+
+}  // namespace ovc::reference

@@ -1,0 +1,45 @@
+// Reference (naive) offset-value code computation.
+//
+// These helpers compute codes the expensive way the paper's introduction
+// warns about -- "comparing an operator's output row-by-row,
+// column-by-column" -- and exist so tests and the stream checker can verify
+// the efficient derivations, and so benchmarks can price the naive method.
+
+#ifndef OVC_CORE_OVC_REFERENCE_H_
+#define OVC_CORE_OVC_REFERENCE_H_
+
+#include <cstdint>
+
+#include "core/ovc.h"
+#include "row/schema.h"
+
+namespace ovc::reference {
+
+/// Length of the maximal shared key prefix of `a` and `b` in columns
+/// (the paper's pre(A, B)).
+uint32_t SharedPrefix(const Schema& schema, const uint64_t* a,
+                      const uint64_t* b);
+
+/// Naive ascending code of `row` relative to `base`; `base` must sort no
+/// later than `row`.
+Ovc AscendingOvc(const OvcCodec& codec, const uint64_t* base,
+                 const uint64_t* row);
+
+/// Naive descending code of `row` relative to `base`.
+Ovc DescendingOvc(const DescendingOvcCodec& codec, const uint64_t* base,
+                  const uint64_t* row);
+
+/// The paper's Table 1 toy encoding for small domains (column values
+/// 1..domain-1): ascending OVC = (arity - offset) * domain + value,
+/// duplicates encode as 0.
+uint64_t ToyAscendingOvc(uint32_t arity, uint64_t domain, const uint64_t* base,
+                         const uint64_t* row);
+
+/// Table 1 descending toy encoding: offset * domain + (domain - value),
+/// duplicates encode as arity * domain.
+uint64_t ToyDescendingOvc(uint32_t arity, uint64_t domain,
+                          const uint64_t* base, const uint64_t* row);
+
+}  // namespace ovc::reference
+
+#endif  // OVC_CORE_OVC_REFERENCE_H_

@@ -1,0 +1,25 @@
+// RowRef: the unit of data flow between operators.
+
+#ifndef OVC_CORE_ROW_REF_H_
+#define OVC_CORE_ROW_REF_H_
+
+#include <cstdint>
+
+#include "core/ovc.h"
+
+namespace ovc {
+
+/// A non-owning view of one row together with its ascending offset-value
+/// code relative to the stream's previous row (the stream's first row is
+/// coded relative to "minus infinity", i.e. offset 0).
+///
+/// The pointed-to columns remain valid until the producing operator's next
+/// Next()/Close() call, mirroring the classic Volcano contract.
+struct RowRef {
+  const uint64_t* cols = nullptr;
+  Ovc ovc = 0;
+};
+
+}  // namespace ovc
+
+#endif  // OVC_CORE_ROW_REF_H_

@@ -1,0 +1,280 @@
+#include "exec/exchange.h"
+
+#include "exec/hash_join.h"  // HashKeyPrefix
+#include "pq/plain_loser_tree.h"
+
+namespace ovc {
+
+namespace {
+
+/// Operator view of one split partition.
+class SplitPartitionStreamImpl : public Operator {
+ public:
+  SplitPartitionStreamImpl(SplitExchange* exchange, uint32_t index,
+                           const Schema* schema)
+      : exchange_(exchange), index_(index), schema_(schema) {}
+
+  void Open() override {}
+  bool Next(RowRef* out) override;
+  void Close() override {}
+  const Schema& schema() const override { return *schema_; }
+  bool sorted() const override { return true; }
+  bool has_ovc() const override { return true; }
+
+ private:
+  SplitExchange* exchange_;
+  uint32_t index_;
+  const Schema* schema_;
+};
+
+}  // namespace
+
+// SplitPartitionStreamImpl::Next needs SplitExchange internals; the friend
+// declaration names SplitPartitionStream, so route through a member helper.
+class SplitPartitionStream {
+ public:
+  static bool Next(SplitExchange* ex, uint32_t index, RowRef* out) {
+    ex->PumpUntil(index);
+    auto& state = *ex->states_[index];
+    const uint64_t* row = nullptr;
+    Ovc code = 0;
+    if (!state.Pop(&row, &code)) return false;
+    out->cols = row;
+    out->ovc = code;
+    return true;
+  }
+};
+
+namespace {
+
+bool SplitPartitionStreamImplNext(SplitExchange* ex, uint32_t index,
+                                  RowRef* out) {
+  return SplitPartitionStream::Next(ex, index, out);
+}
+
+}  // namespace
+
+bool SplitPartitionStreamImpl::Next(RowRef* out) {
+  return SplitPartitionStreamImplNext(exchange_, index_, out);
+}
+
+SplitExchange::SplitExchange(Operator* child, uint32_t partitions,
+                             Policy policy, QueryCounters* counters,
+                             std::vector<uint64_t> range_bounds)
+    : child_(child),
+      policy_(policy),
+      counters_(counters),
+      range_bounds_(std::move(range_bounds)) {
+  OVC_CHECK(child->sorted() && child->has_ovc());
+  OVC_CHECK(partitions >= 1);
+  if (policy == Policy::kRangeFirstColumn) {
+    OVC_CHECK(range_bounds_.size() + 1 == partitions);
+  }
+  for (uint32_t p = 0; p < partitions; ++p) {
+    auto state =
+        std::make_unique<PartitionState>(child->schema().total_columns());
+    state->acc.Reset();
+    states_.push_back(std::move(state));
+    streams_.push_back(std::make_unique<SplitPartitionStreamImpl>(
+        this, p, &child->schema()));
+  }
+}
+
+Operator* SplitExchange::partition(uint32_t i) {
+  OVC_CHECK(i < streams_.size());
+  return streams_[i].get();
+}
+
+uint32_t SplitExchange::RouteOf(const uint64_t* row) {
+  const uint32_t p_count = partitions();
+  switch (policy_) {
+    case Policy::kHashKey:
+      return static_cast<uint32_t>(
+          HashKeyPrefix(row, child_->schema().key_arity(), counters_) %
+          p_count);
+    case Policy::kRoundRobin:
+      return static_cast<uint32_t>(round_robin_next_++ % p_count);
+    case Policy::kRangeFirstColumn: {
+      const uint64_t v = child_->schema().NormalizedAt(row, 0);
+      uint32_t p = 0;
+      while (p < range_bounds_.size() && v >= range_bounds_[p]) ++p;
+      return p;
+    }
+  }
+  return 0;
+}
+
+void SplitExchange::PumpUntil(uint32_t want) {
+  if (!child_open_) {
+    child_->Open();
+    child_open_ = true;
+  }
+  auto& want_state = *states_[want];
+  while (!want_state.HasRow() && !child_done_) {
+    RowRef ref;
+    if (!child_->Next(&ref)) {
+      child_done_ = true;
+      break;
+    }
+    const uint32_t p = RouteOf(ref.cols);
+    // Filter theorem per partition: the routed row's output code combines
+    // the codes of rows routed elsewhere since this partition's last row;
+    // every other partition absorbs this row's code.
+    auto& target = *states_[p];
+    target.Push(ref.cols, target.acc.Combine(ref.ovc));
+    target.acc.Reset();
+    for (uint32_t q = 0; q < partitions(); ++q) {
+      if (q != p) states_[q]->acc.Absorb(ref.ovc);
+    }
+  }
+}
+
+bool BoundedBatchQueue::Push(std::unique_ptr<RowBatch> batch) {
+  std::unique_lock<std::mutex> lock(mu_);
+  not_full_.wait(lock,
+                 [this] { return cancelled_ || items_.size() < capacity_; });
+  if (cancelled_) return false;
+  items_.push_back(std::move(batch));
+  not_empty_.notify_one();
+  return true;
+}
+
+std::unique_ptr<RowBatch> BoundedBatchQueue::Pop() {
+  std::unique_lock<std::mutex> lock(mu_);
+  not_empty_.wait(lock, [this] { return cancelled_ || !items_.empty(); });
+  if (items_.empty()) return nullptr;  // cancelled
+  std::unique_ptr<RowBatch> batch = std::move(items_.front());
+  items_.pop_front();
+  not_full_.notify_one();
+  return batch;
+}
+
+void BoundedBatchQueue::Cancel() {
+  std::lock_guard<std::mutex> lock(mu_);
+  cancelled_ = true;
+  not_full_.notify_all();
+  not_empty_.notify_all();
+}
+
+/// MergeSource fed by a producer thread's batch queue.
+class MergeExchange::QueueMergeSource : public MergeSource {
+ public:
+  explicit QueueMergeSource(BoundedBatchQueue* queue) : queue_(queue) {}
+
+  bool Next(const uint64_t** row, Ovc* code) override {
+    while (true) {
+      if (batch_ != nullptr && pos_ < batch_->size()) {
+        *row = batch_->row(pos_);
+        *code = batch_->code(pos_);
+        ++pos_;
+        return true;
+      }
+      if (done_) return false;
+      batch_ = queue_->Pop();
+      pos_ = 0;
+      if (batch_ == nullptr) {
+        done_ = true;
+        return false;
+      }
+    }
+  }
+
+ private:
+  BoundedBatchQueue* queue_;
+  std::unique_ptr<RowBatch> batch_;
+  size_t pos_ = 0;
+  bool done_ = false;
+};
+
+MergeExchange::MergeExchange(std::vector<Operator*> inputs,
+                             QueryCounters* counters, Options options)
+    : inputs_(std::move(inputs)),
+      counters_(counters),
+      options_(options),
+      codec_(&inputs_[0]->schema()),
+      comparator_(&inputs_[0]->schema(), counters) {
+  OVC_CHECK(!inputs_.empty());
+  for (Operator* in : inputs_) {
+    OVC_CHECK(in->sorted() && in->has_ovc());
+    OVC_CHECK(in->schema() == inputs_[0]->schema());
+  }
+}
+
+MergeExchange::~MergeExchange() { StopThreads(); }
+
+void MergeExchange::Open() {
+  std::vector<MergeSource*> raw_sources;
+  if (options_.threaded) {
+    for (Operator* in : inputs_) {
+      queues_.push_back(
+          std::make_unique<BoundedBatchQueue>(options_.queue_batches));
+      BoundedBatchQueue* queue = queues_.back().get();
+      const uint32_t batch_rows = options_.batch_rows;
+      producers_.emplace_back([in, queue, batch_rows] {
+        in->Open();
+        auto batch =
+            std::make_unique<RowBatch>(in->schema().total_columns());
+        RowRef ref;
+        bool alive = true;
+        while (alive && in->Next(&ref)) {
+          batch->Append(ref.cols, ref.ovc);
+          if (batch->size() >= batch_rows) {
+            alive = queue->Push(std::move(batch));
+            batch =
+                std::make_unique<RowBatch>(in->schema().total_columns());
+          }
+        }
+        if (alive && !batch->empty()) {
+          alive = queue->Push(std::move(batch));
+        }
+        if (alive) {
+          queue->Push(nullptr);  // end-of-stream sentinel
+        }
+        in->Close();
+      });
+      sources_.push_back(std::make_unique<QueueMergeSource>(queue));
+      raw_sources.push_back(sources_.back().get());
+    }
+  } else {
+    for (Operator* in : inputs_) {
+      in->Open();
+      sources_.push_back(std::make_unique<OperatorMergeSource>(in));
+      raw_sources.push_back(sources_.back().get());
+    }
+  }
+  if (options_.use_ovc) {
+    merger_ = std::make_unique<OvcMerger>(&codec_, &comparator_, raw_sources);
+  } else {
+    plain_merger_ = std::make_unique<PlainMerger>(&codec_, &comparator_,
+                                                  raw_sources);
+  }
+}
+
+bool MergeExchange::Next(RowRef* out) {
+  if (merger_ != nullptr) return merger_->Next(out);
+  if (plain_merger_ != nullptr) return plain_merger_->Next(out);
+  return false;
+}
+
+void MergeExchange::StopThreads() {
+  for (auto& queue : queues_) {
+    queue->Cancel();
+  }
+  for (std::thread& t : producers_) {
+    if (t.joinable()) t.join();
+  }
+  producers_.clear();
+  queues_.clear();
+}
+
+void MergeExchange::Close() {
+  StopThreads();
+  merger_.reset();
+  plain_merger_.reset();
+  sources_.clear();
+  if (!options_.threaded) {
+    for (Operator* in : inputs_) in->Close();
+  }
+}
+
+}  // namespace ovc

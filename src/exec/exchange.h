@@ -1,0 +1,198 @@
+// Order-preserving shuffle (Section 4.10).
+//
+// One-to-many "splitting" shuffle: each output partition is a selection
+// from the overall input stream, so its codes follow from the filter
+// theorem -- a per-partition accumulator absorbs the codes of rows routed
+// elsewhere.
+//
+// Many-to-one "merging" shuffle: the standard merge logic, "very similar to
+// a merge step in an external merge sort": a tree-of-losers priority queue
+// exploits the input codes and produces output codes. Producer threads
+// drive the inputs and hand row batches to the consumer through bounded
+// queues; a single-threaded mode serves deterministic benchmarks.
+//
+// Many-to-many shuffle is deliberately not provided (the paper: "usually
+// not recommended due to its danger ... of deadlock"); compose a merging
+// and a splitting exchange instead.
+
+#ifndef OVC_EXEC_EXCHANGE_H_
+#define OVC_EXEC_EXCHANGE_H_
+
+#include <condition_variable>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "common/counters.h"
+#include "core/accumulator.h"
+#include "exec/operator.h"
+#include "pq/plain_loser_tree.h"
+#include "sort/run.h"
+
+namespace ovc {
+
+/// Demultiplexes one sorted, coded stream into `partitions` sorted, coded
+/// partition streams.
+class SplitExchange {
+ public:
+  enum class Policy {
+    kHashKey,     // co-locates equal keys (partition by key hash)
+    kRoundRobin,  // balances rows
+    kRangeFirstColumn,  // range-partitions on the first key column
+  };
+
+  /// `child` must be sorted with codes. For kRangeFirstColumn,
+  /// `range_bounds` holds partitions-1 ascending upper bounds (exclusive)
+  /// on the first key column.
+  SplitExchange(Operator* child, uint32_t partitions, Policy policy,
+                QueryCounters* counters,
+                std::vector<uint64_t> range_bounds = {});
+
+  /// The i-th partition stream. All partitions share the child; rows for
+  /// not-yet-consumed partitions are buffered in memory.
+  Operator* partition(uint32_t i);
+
+  uint32_t partitions() const { return static_cast<uint32_t>(states_.size()); }
+
+ private:
+  friend class SplitPartitionStream;
+
+  /// Per-partition buffered rows. Chunked so that row pointers handed to a
+  /// consumer stay valid while other partitions keep buffering (a plain
+  /// growable buffer would reallocate under the merger's feet).
+  struct PartitionState {
+    static constexpr size_t kChunkRows = 256;
+
+    explicit PartitionState(uint32_t width_in) : width(width_in) {}
+
+    void Push(const uint64_t* row, Ovc code) {
+      if (chunks.empty() || chunks.back().size() >= kChunkRows) {
+        chunks.emplace_back(width);
+        // Reserve so appends never reallocate: pointers stay stable.
+        chunks.back().Reserve(kChunkRows);
+      }
+      chunks.back().Append(row, code);
+    }
+
+    bool Pop(const uint64_t** row, Ovc* code) {
+      if (!chunks.empty() && head_pos >= chunks.front().size() &&
+          chunks.front().size() >= kChunkRows) {
+        chunks.pop_front();
+        head_pos = 0;
+      }
+      if (chunks.empty() || head_pos >= chunks.front().size()) return false;
+      *row = chunks.front().row(head_pos);
+      *code = chunks.front().code(head_pos);
+      ++head_pos;
+      return true;
+    }
+
+    bool HasRow() const {
+      if (chunks.empty()) return false;
+      if (head_pos < chunks.front().size()) return true;
+      return chunks.size() > 1;
+    }
+
+    uint32_t width;
+    std::deque<InMemoryRun> chunks;
+    size_t head_pos = 0;
+    OvcAccumulator acc;
+  };
+
+  /// Routes child rows to partition queues until partition `want` has a row
+  /// or the child is exhausted.
+  void PumpUntil(uint32_t want);
+  uint32_t RouteOf(const uint64_t* row);
+
+  Operator* child_;
+  Policy policy_;
+  QueryCounters* counters_;
+  std::vector<uint64_t> range_bounds_;
+  std::vector<std::unique_ptr<PartitionState>> states_;
+  std::vector<std::unique_ptr<Operator>> streams_;
+  uint64_t round_robin_next_ = 0;
+  bool child_open_ = false;
+  bool child_done_ = false;
+};
+
+/// A batch of rows travelling from a producer thread to the merge.
+using RowBatch = InMemoryRun;
+
+/// Bounded multi-producer (in practice single-producer) batch queue.
+class BoundedBatchQueue {
+ public:
+  explicit BoundedBatchQueue(size_t capacity) : capacity_(capacity) {}
+
+  /// Blocks while full; returns false when the queue was cancelled.
+  bool Push(std::unique_ptr<RowBatch> batch);
+  /// Blocks while empty; nullptr signals end of stream.
+  std::unique_ptr<RowBatch> Pop();
+  /// Unblocks producers and consumers; further pushes fail.
+  void Cancel();
+
+ private:
+  std::mutex mu_;
+  std::condition_variable not_full_;
+  std::condition_variable not_empty_;
+  std::deque<std::unique_ptr<RowBatch>> items_;
+  size_t capacity_;
+  bool cancelled_ = false;
+};
+
+/// Many-to-one order-preserving merging exchange.
+class MergeExchange : public Operator {
+ public:
+  struct Options {
+    /// Producer threads per input; false pulls inputs inline (deterministic
+    /// single-threaded mode for benchmarks).
+    bool threaded;
+    /// Rows per batch in threaded mode.
+    uint32_t batch_rows;
+    /// Batches buffered per input queue.
+    size_t queue_batches;
+    /// Ablation: merge with a plain tree (full comparisons, codeless
+    /// output).
+    bool use_ovc;
+
+    Options()
+        : threaded(true), batch_rows(1024), queue_batches(4), use_ovc(true) {}
+  };
+
+  /// All inputs must be sorted with codes and share the first input's
+  /// schema. In threaded mode, each input pipeline must have been built
+  /// with its own QueryCounters (pipelines run concurrently); `counters`
+  /// meters only the merge itself.
+  MergeExchange(std::vector<Operator*> inputs, QueryCounters* counters,
+                Options options = Options());
+  ~MergeExchange() override;
+
+  void Open() override;
+  bool Next(RowRef* out) override;
+  void Close() override;
+  const Schema& schema() const override { return inputs_[0]->schema(); }
+  bool sorted() const override { return true; }
+  bool has_ovc() const override { return options_.use_ovc; }
+
+ private:
+  class QueueMergeSource;
+
+  void StopThreads();
+
+  std::vector<Operator*> inputs_;
+  QueryCounters* counters_;
+  Options options_;
+  OvcCodec codec_;
+  KeyComparator comparator_;
+
+  std::vector<std::unique_ptr<BoundedBatchQueue>> queues_;
+  std::vector<std::thread> producers_;
+  std::vector<std::unique_ptr<MergeSource>> sources_;
+  std::unique_ptr<OvcMerger> merger_;
+  std::unique_ptr<PlainMerger> plain_merger_;
+};
+
+}  // namespace ovc
+
+#endif  // OVC_EXEC_EXCHANGE_H_

@@ -1,0 +1,62 @@
+// Filter with offset-value code derivation (Section 4.1, Table 3).
+//
+// An output row's code is the maximum (in ascending coding) of its own input
+// code and the input codes of all rows dropped since the previous output
+// row -- a direct application of the filter theorem. No column values are
+// compared.
+
+#ifndef OVC_EXEC_FILTER_H_
+#define OVC_EXEC_FILTER_H_
+
+#include <functional>
+
+#include "core/accumulator.h"
+#include "exec/operator.h"
+
+namespace ovc {
+
+/// Row predicate: true keeps the row.
+using RowPredicate = std::function<bool(const uint64_t* row)>;
+
+/// Order- and code-preserving filter.
+class FilterOperator : public Operator {
+ public:
+  /// `child` must be sorted with codes and must outlive the filter.
+  FilterOperator(Operator* child, RowPredicate predicate)
+      : child_(child), predicate_(std::move(predicate)) {
+    OVC_CHECK(child->sorted() && child->has_ovc());
+  }
+
+  void Open() override {
+    child_->Open();
+    acc_.Reset();
+  }
+
+  bool Next(RowRef* out) override {
+    RowRef ref;
+    while (child_->Next(&ref)) {
+      if (predicate_(ref.cols)) {
+        out->cols = ref.cols;
+        out->ovc = acc_.Combine(ref.ovc);
+        acc_.Reset();
+        return true;
+      }
+      acc_.Absorb(ref.ovc);
+    }
+    return false;
+  }
+
+  void Close() override { child_->Close(); }
+  const Schema& schema() const override { return child_->schema(); }
+  bool sorted() const override { return true; }
+  bool has_ovc() const override { return true; }
+
+ private:
+  Operator* child_;
+  RowPredicate predicate_;
+  OvcAccumulator acc_;
+};
+
+}  // namespace ovc
+
+#endif  // OVC_EXEC_FILTER_H_

@@ -1,0 +1,232 @@
+#include "exec/hash_aggregate.h"
+
+#include <cstring>
+#include <limits>
+
+#include "exec/hash_join.h"  // HashKeyPrefix
+#include "sort/run_file.h"
+
+namespace ovc {
+
+Schema HashAggregate::MakeOutputSchema(const Schema& in, uint32_t group_prefix,
+                                       size_t num_aggregates) {
+  std::vector<SortDirection> dirs;
+  for (uint32_t c = 0; c < group_prefix; ++c) {
+    dirs.push_back(in.direction(c));
+  }
+  return Schema(std::move(dirs), static_cast<uint32_t>(num_aggregates));
+}
+
+HashAggregate::HashAggregate(Operator* child, uint32_t group_prefix,
+                             std::vector<AggregateSpec> aggregates,
+                             uint64_t memory_groups, QueryCounters* counters,
+                             TempFileManager* temp, uint32_t partitions)
+    : child_(child),
+      group_prefix_(group_prefix),
+      aggregates_(std::move(aggregates)),
+      memory_groups_(memory_groups),
+      partitions_(partitions),
+      output_schema_(
+          MakeOutputSchema(child->schema(), group_prefix, aggregates_.size())),
+      counters_(counters),
+      temp_(temp),
+      group_states_(group_prefix + std::max<uint32_t>(
+                                       1, static_cast<uint32_t>(
+                                              aggregates_.size()))),
+      output_queue_(output_schema_.total_columns()) {
+  OVC_CHECK(group_prefix >= 1);
+  OVC_CHECK(group_prefix <= child->schema().key_arity());
+  OVC_CHECK(memory_groups >= 1);
+  OVC_CHECK(partitions >= 2);
+}
+
+void HashAggregate::SeedGroup(uint64_t* group_state) {
+  for (size_t a = 0; a < aggregates_.size(); ++a) {
+    switch (aggregates_[a].fn) {
+      case AggFn::kCount:
+      case AggFn::kSum:
+        group_state[group_prefix_ + a] = 0;
+        break;
+      case AggFn::kMin:
+        group_state[group_prefix_ + a] = std::numeric_limits<uint64_t>::max();
+        break;
+      case AggFn::kMax:
+        group_state[group_prefix_ + a] = 0;
+        break;
+    }
+  }
+}
+
+void HashAggregate::AccumulateInto(uint64_t* group_state,
+                                   const uint64_t* row) {
+  for (size_t a = 0; a < aggregates_.size(); ++a) {
+    uint64_t& acc = group_state[group_prefix_ + a];
+    switch (aggregates_[a].fn) {
+      case AggFn::kCount:
+        ++acc;
+        break;
+      case AggFn::kSum:
+        acc += row[aggregates_[a].input_col];
+        break;
+      case AggFn::kMin:
+        acc = std::min(acc, row[aggregates_[a].input_col]);
+        break;
+      case AggFn::kMax:
+        acc = std::max(acc, row[aggregates_[a].input_col]);
+        break;
+    }
+  }
+}
+
+bool HashAggregate::TryAccumulate(const uint64_t* row) {
+  const uint64_t h = HashKeyPrefix(row, group_prefix_, counters_);
+  auto range = table_.equal_range(h);
+  for (auto it = range.first; it != range.second; ++it) {
+    uint64_t* state = group_states_.mutable_row(it->second);
+    bool equal = true;
+    for (uint32_t c = 0; c < group_prefix_; ++c) {
+      if (counters_ != nullptr) ++counters_->column_comparisons;
+      if (state[c] != row[c]) {
+        equal = false;
+        break;
+      }
+    }
+    if (equal) {
+      AccumulateInto(state, row);
+      return true;
+    }
+  }
+  if (group_states_.size() >= memory_groups_) {
+    return false;  // table full, group absent
+  }
+  uint64_t* state = group_states_.AppendRow();
+  std::memcpy(state, row, group_prefix_ * sizeof(uint64_t));
+  SeedGroup(state);
+  AccumulateInto(state, row);
+  table_.emplace(h, static_cast<uint32_t>(group_states_.size() - 1));
+  return true;
+}
+
+void HashAggregate::FlushTableToQueue() {
+  for (size_t i = 0; i < group_states_.size(); ++i) {
+    const uint64_t* state = group_states_.row(i);
+    uint64_t* dst = output_queue_.AppendRow();
+    std::memcpy(dst, state, group_prefix_ * sizeof(uint64_t));
+    for (size_t a = 0; a < aggregates_.size(); ++a) {
+      dst[group_prefix_ + a] = state[group_prefix_ + a];
+    }
+  }
+  group_states_.Clear();
+  table_.clear();
+}
+
+uint32_t HashAggregate::PartitionOf(const uint64_t* row, uint32_t level) {
+  uint64_t h = HashKeyPrefix(row, group_prefix_, counters_);
+  // Salt by level so that recursive repartitioning separates keys that
+  // collided at the previous level.
+  h ^= 0x9e3779b97f4a7c15ULL * (level + 1);
+  h ^= h >> 29;
+  h *= 0xbf58476d1ce4e5b9ULL;
+  h ^= h >> 32;
+  return static_cast<uint32_t>(h % partitions_);
+}
+
+void HashAggregate::Open() {
+  output_queue_.Clear();
+  queue_pos_ = 0;
+  pending_partitions_.clear();
+  group_states_.Clear();
+  table_.clear();
+
+  const Schema& in = child_->schema();
+  OvcCodec codec(&in);
+  std::vector<std::unique_ptr<RunFileWriter>> writers;
+  std::vector<std::string> paths;
+  child_->Open();
+  RowRef ref;
+  while (child_->Next(&ref)) {
+    if (TryAccumulate(ref.cols)) continue;
+    // Spill path: route the row to its hash partition.
+    if (writers.empty()) {
+      writers.resize(partitions_);
+      paths.resize(partitions_);
+      for (uint32_t p = 0; p < partitions_; ++p) {
+        writers[p] = std::make_unique<RunFileWriter>(&in, counters_);
+        paths[p] = temp_->NewPath("hagg-part");
+        OVC_CHECK_OK(writers[p]->Open(paths[p]));
+      }
+    }
+    const uint32_t p = PartitionOf(ref.cols, /*level=*/0);
+    OVC_CHECK_OK(
+        writers[p]->Append(ref.cols, codec.MakeFromRow(ref.cols, 0)));
+  }
+  child_->Close();
+  for (uint32_t p = 0; p < writers.size(); ++p) {
+    OVC_CHECK_OK(writers[p]->Close());
+    pending_partitions_.push_back(PendingPartition{paths[p], 1});
+  }
+  FlushTableToQueue();
+}
+
+bool HashAggregate::ProcessNextPartition() {
+  while (!pending_partitions_.empty()) {
+    const PendingPartition pending = pending_partitions_.back();
+    pending_partitions_.pop_back();
+    // Runaway-recursion guard: with level-salted partitioning, each level
+    // divides distinct keys by the fan-out; eight levels cover any input.
+    OVC_CHECK(pending.level <= 8);
+    output_queue_.Clear();
+    queue_pos_ = 0;
+
+    const Schema& in = child_->schema();
+    OvcCodec codec(&in);
+    std::vector<std::unique_ptr<RunFileWriter>> writers;
+    std::vector<std::string> paths;
+    RunFileReader reader(&in);
+    OVC_CHECK_OK(reader.Open(pending.path));
+    const uint64_t* row = nullptr;
+    Ovc code = 0;
+    while (reader.Next(&row, &code)) {
+      if (TryAccumulate(row)) continue;
+      // Still too many groups: repartition recursively.
+      if (writers.empty()) {
+        writers.resize(partitions_);
+        paths.resize(partitions_);
+        for (uint32_t p = 0; p < partitions_; ++p) {
+          writers[p] = std::make_unique<RunFileWriter>(&in, counters_);
+          paths[p] = temp_->NewPath("hagg-part");
+          OVC_CHECK_OK(writers[p]->Open(paths[p]));
+        }
+      }
+      const uint32_t p = PartitionOf(row, pending.level);
+      OVC_CHECK_OK(writers[p]->Append(row, codec.MakeFromRow(row, 0)));
+    }
+    for (uint32_t p = 0; p < writers.size(); ++p) {
+      OVC_CHECK_OK(writers[p]->Close());
+      pending_partitions_.push_back(
+          PendingPartition{paths[p], pending.level + 1});
+    }
+    FlushTableToQueue();
+    if (output_queue_.size() > 0) return true;
+  }
+  return false;
+}
+
+bool HashAggregate::Next(RowRef* out) {
+  while (true) {
+    if (queue_pos_ < output_queue_.size()) {
+      out->cols = output_queue_.row(queue_pos_++);
+      out->ovc = 0;
+      return true;
+    }
+    if (!ProcessNextPartition()) return false;
+  }
+}
+
+void HashAggregate::Close() {
+  output_queue_.Clear();
+  group_states_.Clear();
+  table_.clear();
+}
+
+}  // namespace ovc

@@ -1,0 +1,427 @@
+#include "exec/hash_join.h"
+
+#include <cstring>
+
+#include "sort/run_file.h"
+
+namespace ovc {
+
+uint64_t HashKeyPrefix(const uint64_t* row, uint32_t columns,
+                       QueryCounters* counters) {
+  if (counters != nullptr) ++counters->hash_computations;
+  // SplitMix64-style mixing over the key prefix: "hash-based query
+  // execution requires accessing N x K column values just for the hash
+  // function" -- every column is touched.
+  uint64_t h = 0x9e3779b97f4a7c15ULL;
+  for (uint32_t c = 0; c < columns; ++c) {
+    uint64_t z = row[c] + 0x9e3779b97f4a7c15ULL + h;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    h = z ^ (z >> 31);
+  }
+  return h;
+}
+
+namespace {
+
+/// Raw column equality on the first `columns` columns (counted).
+bool KeysEqual(const uint64_t* a, const uint64_t* b, uint32_t columns,
+               QueryCounters* counters) {
+  for (uint32_t c = 0; c < columns; ++c) {
+    if (counters != nullptr) ++counters->column_comparisons;
+    if (a[c] != b[c]) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+Schema OrderPreservingHashJoin::MakeOutputSchema() const {
+  const Schema& ps = probe_->schema();
+  if (type_ == JoinTypeHash::kLeftSemi || type_ == JoinTypeHash::kLeftAnti) {
+    return ps;
+  }
+  std::vector<SortDirection> dirs;
+  for (uint32_t c = 0; c < ps.key_arity(); ++c) dirs.push_back(ps.direction(c));
+  // Probe keys, probe payloads, all build columns, indicator.
+  return Schema(std::move(dirs), ps.payload_columns() +
+                                     build_->schema().total_columns() + 1);
+}
+
+OrderPreservingHashJoin::OrderPreservingHashJoin(
+    Operator* probe, Operator* build, uint32_t bind_columns, JoinTypeHash type,
+    uint64_t memory_rows, QueryCounters* counters)
+    : probe_(probe),
+      build_(build),
+      bind_columns_(bind_columns),
+      type_(type),
+      memory_rows_(memory_rows),
+      output_schema_(MakeOutputSchema()),
+      probe_codec_(&probe->schema()),
+      counters_(counters),
+      build_rows_(build->schema().total_columns()),
+      probe_row_copy_(probe->schema().total_columns(), 0),
+      out_row_(output_schema_.total_columns(), 0) {
+  OVC_CHECK(probe->sorted() && probe->has_ovc());
+  OVC_CHECK(bind_columns >= 1);
+  OVC_CHECK(bind_columns <= probe->schema().key_arity());
+  OVC_CHECK(bind_columns <= build->schema().key_arity());
+}
+
+void OrderPreservingHashJoin::BuildTable() {
+  build_->Open();
+  RowRef ref;
+  while (build_->Next(&ref)) {
+    // Section 4.9's precondition: the build side must fit in memory.
+    OVC_CHECK(build_rows_.size() < memory_rows_);
+    table_.emplace(HashKeyPrefix(ref.cols, bind_columns_, counters_),
+                   static_cast<uint32_t>(build_rows_.size()));
+    build_rows_.AppendRow(ref.cols);
+  }
+  build_->Close();
+}
+
+void OrderPreservingHashJoin::Open() {
+  build_rows_.Clear();
+  table_.clear();
+  BuildTable();
+  probe_->Open();
+  acc_.Reset();
+  emitting_ = false;
+}
+
+void OrderPreservingHashJoin::EmitCombined(const uint64_t* probe_row,
+                                           const uint64_t* build_row, Ovc code,
+                                           RowRef* out) {
+  const Schema& ps = probe_->schema();
+  const Schema& bs = build_->schema();
+  uint64_t* dst = out_row_.data();
+  std::memcpy(dst, probe_row, ps.total_columns() * sizeof(uint64_t));
+  uint64_t* p = dst + ps.total_columns();
+  if (build_row != nullptr) {
+    std::memcpy(p, build_row, bs.total_columns() * sizeof(uint64_t));
+  } else {
+    std::memset(p, 0, bs.total_columns() * sizeof(uint64_t));
+  }
+  p += bs.total_columns();
+  *p = build_row != nullptr ? 3 : 1;
+  out->cols = dst;
+  out->ovc = code;
+}
+
+bool OrderPreservingHashJoin::Next(RowRef* out) {
+  while (true) {
+    if (emitting_) {
+      if (match_idx_ < matches_.size()) {
+        const Ovc code = match_idx_ == 0 ? probe_code_
+                                         : probe_codec_.DuplicateCode();
+        EmitCombined(probe_row_copy_.data(),
+                     build_rows_.row(matches_[match_idx_]), code, out);
+        ++match_idx_;
+        return true;
+      }
+      emitting_ = false;
+    }
+
+    if (!probe_->Next(&pref_)) return false;
+
+    // Probe the table: gather matching build rows.
+    matches_.clear();
+    const uint64_t h = HashKeyPrefix(pref_.cols, bind_columns_, counters_);
+    auto range = table_.equal_range(h);
+    for (auto it = range.first; it != range.second; ++it) {
+      if (KeysEqual(pref_.cols, build_rows_.row(it->second), bind_columns_,
+                    counters_)) {
+        matches_.push_back(it->second);
+      }
+    }
+
+    const bool match = !matches_.empty();
+    switch (type_) {
+      case JoinTypeHash::kLeftSemi:
+      case JoinTypeHash::kLeftAnti: {
+        const bool keep = (type_ == JoinTypeHash::kLeftSemi) == match;
+        if (!keep) {
+          acc_.Absorb(pref_.ovc);
+          continue;
+        }
+        std::memcpy(out_row_.data(), pref_.cols,
+                    probe_->schema().total_columns() * sizeof(uint64_t));
+        out->cols = out_row_.data();
+        out->ovc = acc_.Combine(pref_.ovc);
+        acc_.Reset();
+        return true;
+      }
+      case JoinTypeHash::kInner: {
+        if (!match) {
+          acc_.Absorb(pref_.ovc);
+          continue;
+        }
+        break;
+      }
+      case JoinTypeHash::kLeftOuter:
+        break;
+    }
+
+    // Inner with matches, or left outer.
+    probe_code_ = acc_.Combine(pref_.ovc);
+    acc_.Reset();
+    std::memcpy(probe_row_copy_.data(), pref_.cols,
+                probe_->schema().total_columns() * sizeof(uint64_t));
+    if (!match) {
+      // Left outer, no match: single null-padded row.
+      EmitCombined(probe_row_copy_.data(), nullptr, probe_code_, out);
+      return true;
+    }
+    match_idx_ = 0;
+    emitting_ = true;
+  }
+}
+
+void OrderPreservingHashJoin::Close() { probe_->Close(); }
+
+Schema GraceHashJoin::MakeOutputSchema() const {
+  const Schema& ps = probe_->schema();
+  if (type_ == JoinTypeHash::kLeftSemi || type_ == JoinTypeHash::kLeftAnti) {
+    return ps;
+  }
+  std::vector<SortDirection> dirs;
+  for (uint32_t c = 0; c < ps.key_arity(); ++c) dirs.push_back(ps.direction(c));
+  return Schema(std::move(dirs), ps.payload_columns() +
+                                     build_->schema().total_columns() + 1);
+}
+
+GraceHashJoin::GraceHashJoin(Operator* probe, Operator* build,
+                             uint32_t bind_columns, JoinTypeHash type,
+                             uint64_t memory_rows, QueryCounters* counters,
+                             TempFileManager* temp, uint32_t partitions)
+    : probe_(probe),
+      build_(build),
+      bind_columns_(bind_columns),
+      type_(type),
+      memory_rows_(memory_rows),
+      partitions_(partitions),
+      output_schema_(MakeOutputSchema()),
+      counters_(counters),
+      temp_(temp),
+      resident_build_(build->schema().total_columns()),
+      output_queue_(output_schema_.total_columns()),
+      out_row_(output_schema_.total_columns(), 0) {
+  OVC_CHECK(type == JoinTypeHash::kInner || type == JoinTypeHash::kLeftSemi);
+  OVC_CHECK(partitions >= 2);
+}
+
+uint32_t GraceHashJoin::PartitionOf(const uint64_t* row, uint32_t level) {
+  uint64_t h = HashKeyPrefix(row, bind_columns_, counters_);
+  h ^= 0x9e3779b97f4a7c15ULL * (level + 1);
+  h ^= h >> 29;
+  h *= 0xbf58476d1ce4e5b9ULL;
+  h ^= h >> 32;
+  return static_cast<uint32_t>(h % partitions_);
+}
+
+void GraceHashJoin::JoinResident(const RowBuffer& build,
+                                 const uint64_t* probe_row) {
+  const uint64_t h = HashKeyPrefix(probe_row, bind_columns_, counters_);
+  auto range = table_.equal_range(h);
+  const Schema& ps = probe_->schema();
+  const Schema& bs = build_->schema();
+  for (auto it = range.first; it != range.second; ++it) {
+    const uint64_t* build_row = build.row(it->second);
+    if (!KeysEqual(probe_row, build_row, bind_columns_, counters_)) continue;
+    if (type_ == JoinTypeHash::kLeftSemi) {
+      output_queue_.AppendRow(probe_row);
+      return;  // one output per probe row
+    }
+    uint64_t* dst = output_queue_.AppendRow();
+    std::memcpy(dst, probe_row, ps.total_columns() * sizeof(uint64_t));
+    std::memcpy(dst + ps.total_columns(), build_row,
+                bs.total_columns() * sizeof(uint64_t));
+    dst[ps.total_columns() + bs.total_columns()] = 3;
+  }
+}
+
+void GraceHashJoin::Open() {
+  output_queue_.Clear();
+  queue_pos_ = 0;
+  pending_.clear();
+  resident_build_.Clear();
+  table_.clear();
+
+  // Consume the build side; if it fits, keep it resident, otherwise
+  // partition it to temporary storage.
+  build_->Open();
+  RowRef ref;
+  bool build_fits = true;
+  std::vector<std::unique_ptr<RunFileWriter>> build_writers;
+  std::vector<std::string> build_paths;
+  while (build_->Next(&ref)) {
+    if (build_fits && resident_build_.size() >= memory_rows_) {
+      // Overflow: re-partition what is already resident, then continue.
+      build_fits = false;
+      build_writers.resize(partitions_);
+      build_paths.resize(partitions_);
+      for (uint32_t p = 0; p < partitions_; ++p) {
+        build_writers[p] =
+            std::make_unique<RunFileWriter>(&build_->schema(), counters_);
+        build_paths[p] = temp_->NewPath("ghj-build");
+        OVC_CHECK_OK(build_writers[p]->Open(build_paths[p]));
+      }
+      OvcCodec codec(&build_->schema());
+      for (size_t i = 0; i < resident_build_.size(); ++i) {
+        const uint64_t* row = resident_build_.row(i);
+        const uint32_t p = PartitionOf(row, /*level=*/0);
+        OVC_CHECK_OK(build_writers[p]->Append(row, codec.MakeFromRow(row, 0)));
+      }
+      resident_build_.Clear();
+    }
+    if (build_fits) {
+      table_.emplace(HashKeyPrefix(ref.cols, bind_columns_, counters_),
+                     static_cast<uint32_t>(resident_build_.size()));
+      resident_build_.AppendRow(ref.cols);
+    } else {
+      OvcCodec codec(&build_->schema());
+      const uint32_t p = PartitionOf(ref.cols, /*level=*/0);
+      OVC_CHECK_OK(
+          build_writers[p]->Append(ref.cols, codec.MakeFromRow(ref.cols, 0)));
+    }
+  }
+  build_->Close();
+  in_memory_ = build_fits;
+
+  probe_->Open();
+  if (in_memory_) {
+    // Stream the probe side against the resident table; queue results.
+    while (probe_->Next(&ref)) {
+      JoinResident(resident_build_, ref.cols);
+    }
+    probe_->Close();
+    return;
+  }
+
+  // Partition the probe side the same way.
+  std::vector<std::unique_ptr<RunFileWriter>> probe_writers(partitions_);
+  std::vector<std::string> probe_paths(partitions_);
+  for (uint32_t p = 0; p < partitions_; ++p) {
+    probe_writers[p] =
+        std::make_unique<RunFileWriter>(&probe_->schema(), counters_);
+    probe_paths[p] = temp_->NewPath("ghj-probe");
+    OVC_CHECK_OK(probe_writers[p]->Open(probe_paths[p]));
+  }
+  OvcCodec probe_codec(&probe_->schema());
+  while (probe_->Next(&ref)) {
+    const uint32_t p = PartitionOf(ref.cols, /*level=*/0);
+    OVC_CHECK_OK(
+        probe_writers[p]->Append(ref.cols, probe_codec.MakeFromRow(ref.cols, 0)));
+  }
+  probe_->Close();
+  for (uint32_t p = 0; p < partitions_; ++p) {
+    OVC_CHECK_OK(build_writers[p]->Close());
+    OVC_CHECK_OK(probe_writers[p]->Close());
+    pending_.push_back(PartitionPair{probe_paths[p], build_paths[p], 1});
+  }
+  resident_build_.Clear();
+  table_.clear();
+}
+
+void GraceHashJoin::Repartition(const PartitionPair& pair) {
+  // Too many build rows collided into this partition: split it (and its
+  // probe counterpart) with the next level's salted hash.
+  OVC_CHECK(pair.level <= 8);
+  const Schema& bs = build_->schema();
+  const Schema& ps = probe_->schema();
+  OvcCodec bcodec(&bs), pcodec(&ps);
+  std::vector<PartitionPair> subs(partitions_);
+  std::vector<std::unique_ptr<RunFileWriter>> bw(partitions_), pw(partitions_);
+  for (uint32_t p = 0; p < partitions_; ++p) {
+    subs[p].level = pair.level + 1;
+    subs[p].build_path = temp_->NewPath("ghj-build");
+    subs[p].probe_path = temp_->NewPath("ghj-probe");
+    bw[p] = std::make_unique<RunFileWriter>(&bs, counters_);
+    pw[p] = std::make_unique<RunFileWriter>(&ps, counters_);
+    OVC_CHECK_OK(bw[p]->Open(subs[p].build_path));
+    OVC_CHECK_OK(pw[p]->Open(subs[p].probe_path));
+  }
+  const uint64_t* row = nullptr;
+  Ovc code = 0;
+  RunFileReader build_reader(&bs);
+  OVC_CHECK_OK(build_reader.Open(pair.build_path));
+  while (build_reader.Next(&row, &code)) {
+    const uint32_t p = PartitionOf(row, pair.level);
+    OVC_CHECK_OK(bw[p]->Append(row, bcodec.MakeFromRow(row, 0)));
+  }
+  RunFileReader probe_reader(&ps);
+  OVC_CHECK_OK(probe_reader.Open(pair.probe_path));
+  while (probe_reader.Next(&row, &code)) {
+    const uint32_t p = PartitionOf(row, pair.level);
+    OVC_CHECK_OK(pw[p]->Append(row, pcodec.MakeFromRow(row, 0)));
+  }
+  for (uint32_t p = 0; p < partitions_; ++p) {
+    OVC_CHECK_OK(bw[p]->Close());
+    OVC_CHECK_OK(pw[p]->Close());
+    pending_.push_back(subs[p]);
+  }
+}
+
+bool GraceHashJoin::ServeQueued(RowRef* out) {
+  if (queue_pos_ >= output_queue_.size()) return false;
+  out->cols = output_queue_.row(queue_pos_++);
+  out->ovc = 0;
+  return true;
+}
+
+bool GraceHashJoin::ProcessNextPartition() {
+  while (!pending_.empty()) {
+    PartitionPair pair = pending_.back();
+    pending_.pop_back();
+
+    // Load the build partition and index it; a partition that still exceeds
+    // the memory budget is split recursively with the next level's salt.
+    resident_build_.Clear();
+    table_.clear();
+    RunFileReader build_reader(&build_->schema());
+    OVC_CHECK_OK(build_reader.Open(pair.build_path));
+    const uint64_t* row = nullptr;
+    Ovc code = 0;
+    bool overflow = false;
+    while (build_reader.Next(&row, &code)) {
+      if (resident_build_.size() >= memory_rows_) {
+        overflow = true;
+        break;
+      }
+      table_.emplace(HashKeyPrefix(row, bind_columns_, counters_),
+                     static_cast<uint32_t>(resident_build_.size()));
+      resident_build_.AppendRow(row);
+    }
+    if (overflow) {
+      Repartition(pair);
+      continue;
+    }
+
+    output_queue_.Clear();
+    queue_pos_ = 0;
+    RunFileReader probe_reader(&probe_->schema());
+    OVC_CHECK_OK(probe_reader.Open(pair.probe_path));
+    while (probe_reader.Next(&row, &code)) {
+      JoinResident(resident_build_, row);
+    }
+    if (output_queue_.size() > 0) return true;
+  }
+  return false;
+}
+
+bool GraceHashJoin::Next(RowRef* out) {
+  while (true) {
+    if (ServeQueued(out)) return true;
+    if (in_memory_) return false;
+    if (!ProcessNextPartition()) return false;
+  }
+}
+
+void GraceHashJoin::Close() {
+  output_queue_.Clear();
+  resident_build_.Clear();
+  table_.clear();
+}
+
+}  // namespace ovc

@@ -1,0 +1,16 @@
+#include "exec/operator.h"
+
+namespace ovc {
+
+uint64_t DrainAndCount(Operator* op) {
+  op->Open();
+  RowRef ref;
+  uint64_t rows = 0;
+  while (op->Next(&ref)) {
+    ++rows;
+  }
+  op->Close();
+  return rows;
+}
+
+}  // namespace ovc

@@ -1,0 +1,78 @@
+// Operator framework: Volcano-style iterators whose rows carry
+// offset-value codes.
+//
+// Every operator produces a stream of RowRefs. For order-preserving
+// operators the contract is:
+//   * rows come out sorted on the operator's output schema key prefix, and
+//   * each row's code is its ascending offset-value code relative to the
+//     previous output row (offset 0 for the first row),
+// which is exactly the contract OvcStreamChecker verifies and the next
+// operator in the pipeline consumes (Section 4's central theme: operators
+// must not only exploit but also *produce* offset-value codes).
+//
+// Unordered operators (hash baselines, plain scans) set sorted()/has_ovc()
+// to false and emit codes of 0.
+
+#ifndef OVC_EXEC_OPERATOR_H_
+#define OVC_EXEC_OPERATOR_H_
+
+#include <cstdint>
+#include <memory>
+
+#include "core/ovc.h"
+#include "core/row_ref.h"
+#include "pq/loser_tree.h"
+#include "row/schema.h"
+
+namespace ovc {
+
+/// Base class for all execution operators.
+class Operator {
+ public:
+  virtual ~Operator() = default;
+
+  /// Prepares the operator (and its inputs) for Next() calls.
+  virtual void Open() = 0;
+
+  /// Produces the next output row. The referenced columns stay valid until
+  /// the following Next()/Close() call on this operator.
+  virtual bool Next(RowRef* out) = 0;
+
+  /// Releases resources; the operator may be Open()ed again afterwards
+  /// where the concrete class documents support for rescans.
+  virtual void Close() = 0;
+
+  /// Output row layout.
+  virtual const Schema& schema() const = 0;
+
+  /// True when the output is sorted on the schema's key prefix.
+  virtual bool sorted() const = 0;
+
+  /// True when output rows carry valid offset-value codes.
+  virtual bool has_ovc() const = 0;
+};
+
+/// Adapts an Operator to the MergeSource interface used by sort-level
+/// machinery (mergers, segmented sort).
+class OperatorMergeSource : public MergeSource {
+ public:
+  explicit OperatorMergeSource(Operator* op) : op_(op) {}
+
+  bool Next(const uint64_t** row, Ovc* code) override {
+    RowRef ref;
+    if (!op_->Next(&ref)) return false;
+    *row = ref.cols;
+    *code = ref.ovc;
+    return true;
+  }
+
+ private:
+  Operator* op_;
+};
+
+/// Convenience: drains `op` (Open/Next/Close) and returns the row count.
+uint64_t DrainAndCount(Operator* op);
+
+}  // namespace ovc
+
+#endif  // OVC_EXEC_OPERATOR_H_

@@ -1,0 +1,48 @@
+#include "exec/project.h"
+
+namespace ovc {
+
+ProjectOperator::ProjectOperator(Operator* child, Schema output_schema,
+                                 std::vector<uint32_t> mapping)
+    : child_(child),
+      output_schema_(std::move(output_schema)),
+      mapping_(std::move(mapping)),
+      order_preserving_(false),
+      in_codec_(&child->schema()),
+      out_codec_(&output_schema_),
+      row_(output_schema_.total_columns()) {
+  OVC_CHECK(mapping_.size() == output_schema_.total_columns());
+  for (uint32_t m : mapping_) {
+    OVC_CHECK(m < child_->schema().total_columns());
+  }
+  // Order preservation: the output key columns must be exactly the leading
+  // input key columns, in order, with matching directions.
+  if (child_->sorted() && child_->has_ovc() &&
+      output_schema_.key_arity() <= child_->schema().key_arity()) {
+    bool prefix = true;
+    for (uint32_t i = 0; i < output_schema_.key_arity(); ++i) {
+      if (mapping_[i] != i ||
+          output_schema_.direction(i) != child_->schema().direction(i)) {
+        prefix = false;
+        break;
+      }
+    }
+    order_preserving_ = prefix;
+  }
+}
+
+bool ProjectOperator::Next(RowRef* out) {
+  RowRef ref;
+  if (!child_->Next(&ref)) return false;
+  for (uint32_t i = 0; i < mapping_.size(); ++i) {
+    row_[i] = ref.cols[mapping_[i]];
+  }
+  out->cols = row_.data();
+  out->ovc = order_preserving_
+                 ? in_codec_.ClampToPrefix(ref.ovc, output_schema_.key_arity(),
+                                           out_codec_)
+                 : 0;
+  return true;
+}
+
+}  // namespace ovc

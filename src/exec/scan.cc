@@ -1,0 +1,3 @@
+#include "exec/scan.h"
+
+// Header-only today; this translation unit anchors the library target.

@@ -1,0 +1,139 @@
+// Tree-of-losers priority queue with offset-value coding (Section 3).
+//
+// The tree embeds a balanced binary tournament in an array. Each internal
+// node holds the loser of its match; the overall winner sits above the root.
+// Replacing a winner with its successor retraces exactly the winner's
+// leaf-to-root path -- one comparison per level -- and every key on that
+// path is coded relative to the prior overall winner, so offset-value codes
+// decide most comparisons with a single integer compare.
+//
+// Two classes:
+//  * OvcMerger merges F sorted inputs that carry offset-value codes and
+//    produces a sorted output stream with correct codes -- the codes emitted
+//    are the winners' codes, which are relative to the previous overall
+//    winner, i.e. the previous output row. This is the merge step of
+//    external sort, the merging exchange, LSM compaction, and the model for
+//    merge join.
+//  * PqSorter sorts an in-memory batch by merging N single-row runs
+//    ("run generation merges 'sorted' runs of a single row each"): queue
+//    build-up and tear-down only, near-optimal comparison counts, and the
+//    output carries offset-value codes as a byproduct.
+//
+// Exhausted inputs fold into the code word as late fences, so the test for
+// a valid key and the comparison of codes are one unsigned integer
+// comparison ("the comparison of offset-value codes is practically free",
+// Section 5).
+
+#ifndef OVC_PQ_LOSER_TREE_H_
+#define OVC_PQ_LOSER_TREE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "core/ovc.h"
+#include "core/ovc_compare.h"
+#include "core/row_ref.h"
+#include "row/comparator.h"
+
+namespace ovc {
+
+/// Pull interface for one sorted, offset-value-coded merge input.
+class MergeSource {
+ public:
+  virtual ~MergeSource() = default;
+
+  /// Produces the next row and its code relative to this input's previous
+  /// row (the input's first row must be coded at offset 0, i.e. relative to
+  /// minus infinity). Returns false at end of input. The returned pointer
+  /// must stay valid until the next call on this source.
+  virtual bool Next(const uint64_t** row, Ovc* code) = 0;
+};
+
+/// Merges F sorted OVC streams into one sorted OVC stream.
+class OvcMerger {
+ public:
+  struct Options {
+    /// Section 5 fast path: when the next row from the winner's input
+    /// carries the duplicate code (offset == arity), it is equal to the row
+    /// just emitted and goes directly to the output, bypassing the merge
+    /// logic entirely.
+    bool duplicate_bypass;
+
+    Options() : duplicate_bypass(true) {}
+  };
+
+  /// `codec` and `comparator` must outlive the merger; `sources` are
+  /// borrowed. At least one source is required.
+  OvcMerger(const OvcCodec* codec, const KeyComparator* comparator,
+            std::vector<MergeSource*> sources, Options options = Options());
+
+  /// Produces the next merged row; its code is relative to the previously
+  /// produced row. Returns false when all inputs are exhausted. The row
+  /// pointer stays valid until the next Next()/destruction.
+  bool Next(RowRef* out);
+
+  /// Number of inputs merged.
+  uint32_t fan_in() const { return static_cast<uint32_t>(sources_.size()); }
+
+ private:
+  struct Entry {
+    Ovc code;
+    uint32_t slot;
+  };
+
+  Entry LeafEntry(uint32_t slot);
+  Entry FetchSuccessor(uint32_t slot);
+  Entry BuildWinner(uint32_t node);
+  void Advance();
+  /// Plays one match: returns the winner, parks the loser at nodes_[node].
+  Entry PlayMatch(uint32_t node, Entry a, Entry b);
+
+  const OvcCodec* codec_;
+  const KeyComparator* comparator_;
+  std::vector<MergeSource*> sources_;
+  Options options_;
+
+  uint32_t capacity_ = 0;                 // padded power of two
+  std::vector<Entry> nodes_;              // 1..capacity_-1 hold losers
+  std::vector<const uint64_t*> rows_;     // current candidate row per slot
+  Entry winner_{OvcCodec::LateFence(), 0};
+  bool started_ = false;
+};
+
+/// Sorts a batch of rows by building a tree of single-row runs and tearing
+/// it down. Produces output codes as a byproduct of the sort.
+class PqSorter {
+ public:
+  /// `codec` and `comparator` must outlive the sorter.
+  PqSorter(const OvcCodec* codec, const KeyComparator* comparator);
+
+  /// Initializes the tournament over `rows` (borrowed pointers; must stay
+  /// valid until the sorter is exhausted). May be called again after the
+  /// previous sort finished, reusing the tree allocation.
+  void Reset(const uint64_t* const* rows, uint32_t count);
+
+  /// Pops the next row in sort order with its output code.
+  bool Next(RowRef* out);
+
+ private:
+  struct Entry {
+    Ovc code;
+    uint32_t slot;
+  };
+
+  Entry BuildWinner(uint32_t node);
+  Entry PlayMatch(uint32_t node, Entry a, Entry b);
+
+  const OvcCodec* codec_;
+  const KeyComparator* comparator_;
+  uint32_t capacity_ = 0;
+  uint32_t count_ = 0;
+  std::vector<Entry> nodes_;
+  const uint64_t* const* rows_ = nullptr;
+  Entry winner_{OvcCodec::LateFence(), 0};
+  bool started_ = false;
+};
+
+}  // namespace ovc
+
+#endif  // OVC_PQ_LOSER_TREE_H_

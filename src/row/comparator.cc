@@ -1,0 +1,3 @@
+#include "row/comparator.h"
+
+// Header-only today; this translation unit anchors the library target.

@@ -1,0 +1,77 @@
+// Instrumented key comparators.
+//
+// All column-value comparisons in the library flow through KeyComparator so
+// that tests can assert the paper's N x K bound and benchmarks can report
+// comparison counts. Comparisons respect per-column sort direction via
+// normalized values (see row/schema.h).
+
+#ifndef OVC_ROW_COMPARATOR_H_
+#define OVC_ROW_COMPARATOR_H_
+
+#include <cstdint>
+
+#include "common/counters.h"
+#include "row/schema.h"
+
+namespace ovc {
+
+/// Three-way comparator over the sort-key prefix of rows, counting every
+/// column-value comparison it performs into a QueryCounters instance.
+class KeyComparator {
+ public:
+  /// `schema` and `counters` must outlive the comparator. `counters` may be
+  /// null (counting disabled).
+  KeyComparator(const Schema* schema, QueryCounters* counters)
+      : schema_(schema), counters_(counters) {}
+
+  /// Three-way comparison of full sort keys: negative if a < b, zero if
+  /// equal, positive if a > b (in normalized, i.e. requested, sort order).
+  int Compare(const uint64_t* a, const uint64_t* b) const {
+    if (counters_ != nullptr) ++counters_->row_comparisons;
+    return CompareFrom(a, b, 0);
+  }
+
+  /// Three-way comparison starting at key column `start` (caller knows the
+  /// first `start` columns are equal).
+  int CompareFrom(const uint64_t* a, const uint64_t* b, uint32_t start) const {
+    const uint32_t arity = schema_->key_arity();
+    for (uint32_t i = start; i < arity; ++i) {
+      if (counters_ != nullptr) ++counters_->column_comparisons;
+      const uint64_t av = schema_->NormalizedAt(a, i);
+      const uint64_t bv = schema_->NormalizedAt(b, i);
+      if (av != bv) return av < bv ? -1 : 1;
+    }
+    return 0;
+  }
+
+  /// Returns the first key column index >= `start` where `a` and `b` differ,
+  /// or key_arity() if the keys are equal from `start` on. Each inspected
+  /// column counts as one column comparison.
+  uint32_t FirstDifference(const uint64_t* a, const uint64_t* b,
+                           uint32_t start) const {
+    const uint32_t arity = schema_->key_arity();
+    for (uint32_t i = start; i < arity; ++i) {
+      if (counters_ != nullptr) ++counters_->column_comparisons;
+      if (schema_->NormalizedAt(a, i) != schema_->NormalizedAt(b, i)) {
+        return i;
+      }
+    }
+    return arity;
+  }
+
+  /// True when the sort keys of `a` and `b` are equal.
+  bool Equal(const uint64_t* a, const uint64_t* b) const {
+    return Compare(a, b) == 0;
+  }
+
+  const Schema& schema() const { return *schema_; }
+  QueryCounters* counters() const { return counters_; }
+
+ private:
+  const Schema* schema_;
+  QueryCounters* counters_;
+};
+
+}  // namespace ovc
+
+#endif  // OVC_ROW_COMPARATOR_H_

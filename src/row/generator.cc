@@ -1,0 +1,132 @@
+#include "row/generator.h"
+
+#include <algorithm>
+#include <numeric>
+#include <vector>
+
+#include "common/rng.h"
+
+namespace ovc {
+
+namespace {
+
+// Sorts row indices of `buffer` and rewrites the buffer in sorted order.
+void SortBuffer(const Schema& schema, RowBuffer* buffer) {
+  const uint32_t width = buffer->width();
+  const size_t n = buffer->size();
+  std::vector<uint32_t> index(n);
+  std::iota(index.begin(), index.end(), 0);
+  std::stable_sort(index.begin(), index.end(),
+                   [&](uint32_t a, uint32_t b) {
+                     const uint64_t* ra = buffer->row(a);
+                     const uint64_t* rb = buffer->row(b);
+                     for (uint32_t c = 0; c < schema.key_arity(); ++c) {
+                       const uint64_t va = schema.NormalizedAt(ra, c);
+                       const uint64_t vb = schema.NormalizedAt(rb, c);
+                       if (va != vb) return va < vb;
+                     }
+                     return false;
+                   });
+  RowBuffer sorted(width);
+  sorted.ReserveRows(n);
+  for (uint32_t i : index) {
+    sorted.AppendRow(buffer->row(i));
+  }
+  *buffer = std::move(sorted);
+}
+
+}  // namespace
+
+void GenerateRows(const Schema& schema, const GeneratorConfig& config,
+                  RowBuffer* out) {
+  OVC_CHECK(out->width() == schema.total_columns());
+  OVC_CHECK(config.distinct_per_column >= 1);
+  Rng rng(config.seed);
+  out->ReserveRows(out->size() + config.rows);
+  for (uint64_t r = 0; r < config.rows; ++r) {
+    uint64_t* row = out->AppendRow();
+    for (uint32_t c = 0; c < schema.key_arity(); ++c) {
+      row[c] = config.value_base + rng.Uniform(config.distinct_per_column);
+    }
+    for (uint32_t c = schema.key_arity(); c < schema.total_columns(); ++c) {
+      row[c] = r;
+    }
+  }
+  if (config.sorted) {
+    SortBuffer(schema, out);
+  }
+}
+
+void GenerateGroupedRows(const Schema& schema, uint64_t groups,
+                         uint64_t rows_per_group, uint64_t distinct_per_column,
+                         uint64_t seed, RowBuffer* out) {
+  OVC_CHECK(out->width() == schema.total_columns());
+  // Generate candidate keys, sort, deduplicate, and take the first `groups`
+  // distinct keys. Over-generate to survive deduplication: with
+  // distinct_per_column^arity possible keys, 4x oversampling plus retries
+  // converges quickly for the configurations the experiments use.
+  RowBuffer keys(schema.total_columns());
+  uint64_t attempt_rows = groups * 4;
+  Rng rng(seed);
+  while (true) {
+    keys.Clear();
+    GeneratorConfig config;
+    config.rows = attempt_rows;
+    config.distinct_per_column = distinct_per_column;
+    config.seed = rng.Next();
+    config.sorted = true;
+    GenerateRows(schema, config, &keys);
+    // Count distinct keys.
+    uint64_t distinct = 0;
+    for (size_t i = 0; i < keys.size(); ++i) {
+      if (i == 0) {
+        ++distinct;
+        continue;
+      }
+      bool equal = true;
+      for (uint32_t c = 0; c < schema.key_arity(); ++c) {
+        if (keys.row(i)[c] != keys.row(i - 1)[c]) {
+          equal = false;
+          break;
+        }
+      }
+      if (!equal) ++distinct;
+    }
+    if (distinct >= groups) break;
+    attempt_rows *= 2;
+    OVC_CHECK(attempt_rows < (uint64_t{1} << 40));  // domain too small
+  }
+  // Emit the first `groups` distinct keys, each `rows_per_group` times.
+  uint64_t emitted_groups = 0;
+  uint64_t row_number = 0;
+  for (size_t i = 0; i < keys.size() && emitted_groups < groups; ++i) {
+    if (i > 0) {
+      bool equal = true;
+      for (uint32_t c = 0; c < schema.key_arity(); ++c) {
+        if (keys.row(i)[c] != keys.row(i - 1)[c]) {
+          equal = false;
+          break;
+        }
+      }
+      if (equal) continue;
+    }
+    ++emitted_groups;
+    for (uint64_t d = 0; d < rows_per_group; ++d) {
+      uint64_t* row = out->AppendRow();
+      for (uint32_t c = 0; c < schema.key_arity(); ++c) {
+        row[c] = keys.row(i)[c];
+      }
+      for (uint32_t c = schema.key_arity(); c < schema.total_columns(); ++c) {
+        row[c] = row_number;
+      }
+      ++row_number;
+    }
+  }
+  OVC_CHECK(emitted_groups == groups);
+}
+
+void SortRowsForTest(const Schema& schema, RowBuffer* buffer) {
+  SortBuffer(schema, buffer);
+}
+
+}  // namespace ovc

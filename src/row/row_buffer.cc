@@ -1,0 +1,4 @@
+#include "row/row_buffer.h"
+
+// Header-only today; this translation unit anchors the library target and
+// keeps a stable home for future out-of-line members.

@@ -1,0 +1,71 @@
+// Row storage: a growable buffer of fixed-width rows.
+
+#ifndef OVC_ROW_ROW_BUFFER_H_
+#define OVC_ROW_ROW_BUFFER_H_
+
+#include <cstdint>
+#include <cstring>
+#include <vector>
+
+#include "common/check.h"
+
+namespace ovc {
+
+/// Owns rows of a fixed column count in one contiguous allocation.
+///
+/// Pointers returned by row() / AppendRow() are invalidated by any later
+/// append (vector growth); callers that need stable rows should reserve
+/// capacity up front or address rows by index.
+class RowBuffer {
+ public:
+  /// Creates a buffer for rows of `width` columns.
+  explicit RowBuffer(uint32_t width) : width_(width) { OVC_CHECK(width >= 1); }
+
+  /// Appends an uninitialized row and returns a pointer to its columns.
+  uint64_t* AppendRow() {
+    data_.resize(data_.size() + width_);
+    return data_.data() + data_.size() - width_;
+  }
+
+  /// Appends a copy of `src` (width_ columns).
+  void AppendRow(const uint64_t* src) {
+    uint64_t* dst = AppendRow();
+    std::memcpy(dst, src, width_ * sizeof(uint64_t));
+  }
+
+  /// Read-only access to row `i`.
+  const uint64_t* row(size_t i) const {
+    OVC_DCHECK(i < size());
+    return data_.data() + i * width_;
+  }
+
+  /// Mutable access to row `i`.
+  uint64_t* mutable_row(size_t i) {
+    OVC_DCHECK(i < size());
+    return data_.data() + i * width_;
+  }
+
+  /// Number of rows stored.
+  size_t size() const { return data_.size() / width_; }
+  /// True when no rows are stored.
+  bool empty() const { return data_.empty(); }
+  /// Columns per row.
+  uint32_t width() const { return width_; }
+
+  /// Removes all rows but keeps the allocation.
+  void Clear() { data_.clear(); }
+
+  /// Pre-allocates space for `rows` rows.
+  void ReserveRows(size_t rows) { data_.reserve(rows * width_); }
+
+  /// Approximate memory footprint in bytes.
+  size_t MemoryBytes() const { return data_.capacity() * sizeof(uint64_t); }
+
+ private:
+  uint32_t width_;
+  std::vector<uint64_t> data_;
+};
+
+}  // namespace ovc
+
+#endif  // OVC_ROW_ROW_BUFFER_H_

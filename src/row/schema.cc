@@ -1,0 +1,15 @@
+#include "row/schema.h"
+
+namespace ovc {
+
+std::string Schema::ToString() const {
+  std::string out = "key(";
+  for (uint32_t i = 0; i < key_arity_; ++i) {
+    if (i > 0) out += ",";
+    out += directions_[i] == SortDirection::kAscending ? "asc" : "desc";
+  }
+  out += ")+payload(" + std::to_string(payload_columns_) + ")";
+  return out;
+}
+
+}  // namespace ovc

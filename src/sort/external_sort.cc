@@ -1,0 +1,196 @@
+#include "sort/external_sort.h"
+
+#include <algorithm>
+
+namespace ovc {
+
+namespace {
+
+/// RunSink writing to an in-memory run.
+class MemoryRunSink : public RunSink {
+ public:
+  explicit MemoryRunSink(InMemoryRun* run) : run_(run) {}
+  void Accept(const uint64_t* row, Ovc code) override {
+    run_->Append(row, code);
+  }
+
+ private:
+  InMemoryRun* run_;
+};
+
+/// RunSink writing to a spilled run file.
+class FileRunSink : public RunSink {
+ public:
+  explicit FileRunSink(RunFileWriter* writer) : writer_(writer) {}
+  void Accept(const uint64_t* row, Ovc code) override {
+    OVC_CHECK_OK(writer_->Append(row, code));
+  }
+
+ private:
+  RunFileWriter* writer_;
+};
+
+}  // namespace
+
+ExternalSort::ExternalSort(const Schema* schema, QueryCounters* counters,
+                           TempFileManager* temp, SortConfig config)
+    : schema_(schema),
+      codec_(schema),
+      comparator_(schema, counters),
+      counters_(counters),
+      temp_(temp),
+      config_(config),
+      buffer_(schema->total_columns()) {
+  OVC_CHECK(config_.memory_rows >= 2);
+  OVC_CHECK(config_.fan_in >= 2);
+  if (config_.replacement_selection) {
+    rs_ = std::make_unique<ReplacementSelection>(
+        schema_, counters_, temp_,
+        static_cast<uint32_t>(config_.memory_rows));
+  }
+}
+
+ExternalSort::~ExternalSort() = default;
+
+void ExternalSort::Add(const uint64_t* row) {
+  OVC_CHECK(!finished_);
+  if (rs_ != nullptr) {
+    OVC_CHECK_OK(rs_->Add(row));
+    return;
+  }
+  buffer_.AppendRow(row);
+  if (buffer_.size() >= config_.memory_rows) {
+    OVC_CHECK_OK(SpillBuffer());
+  }
+}
+
+Status ExternalSort::SpillBuffer() {
+  if (buffer_.empty()) return Status::Ok();
+  BatchSorter sorter(schema_, counters_, config_.run_gen,
+                     config_.mini_run_rows, config_.use_ovc,
+                     config_.naive_output_codes);
+  RunFileWriter writer(schema_, counters_);
+  const std::string path = temp_->NewPath("run");
+  OVC_RETURN_IF_ERROR(writer.Open(path));
+  FileRunSink sink(&writer);
+  sorter.Sort(buffer_, &sink);
+  OVC_RETURN_IF_ERROR(writer.Close());
+  runs_.push_back(SpilledRun{path, writer.rows()});
+  ++spilled_runs_;
+  buffer_.Clear();
+  return Status::Ok();
+}
+
+Status ExternalSort::Finish() {
+  OVC_CHECK(!finished_);
+  finished_ = true;
+
+  if (rs_ != nullptr) {
+    OVC_RETURN_IF_ERROR(rs_->Finish());
+    std::vector<SpilledRun> runs = rs_->TakeRuns();
+    spilled_runs_ = runs.size();
+    if (runs.empty()) return Status::Ok();  // empty input
+    return PrepareMerge(std::move(runs));
+  }
+
+  if (runs_.empty()) {
+    // Input fits in memory: sort and serve without spilling.
+    memory_run_ = std::make_unique<InMemoryRun>(schema_->total_columns());
+    BatchSorter sorter(schema_, counters_, config_.run_gen,
+                       config_.mini_run_rows, config_.use_ovc,
+                       config_.naive_output_codes);
+    MemoryRunSink sink(memory_run_.get());
+    sorter.Sort(buffer_, &sink);
+    memory_source_ =
+        std::make_unique<InMemoryRunSource>(memory_run_.get());
+    return Status::Ok();
+  }
+
+  OVC_RETURN_IF_ERROR(SpillBuffer());
+  return PrepareMerge(std::move(runs_));
+}
+
+Status ExternalSort::PrepareMerge(std::vector<SpilledRun> runs) {
+  // Cascade intermediate merges while the run count exceeds the fan-in.
+  while (runs.size() > config_.fan_in) {
+    ++merge_levels_;
+    std::vector<SpilledRun> next_level;
+    for (size_t begin = 0; begin < runs.size(); begin += config_.fan_in) {
+      const size_t count =
+          std::min<size_t>(config_.fan_in, runs.size() - begin);
+      if (count == 1) {
+        next_level.push_back(runs[begin]);
+        continue;
+      }
+      std::vector<std::unique_ptr<RunFileReader>> readers;
+      std::vector<MergeSource*> sources;
+      for (size_t i = 0; i < count; ++i) {
+        readers.push_back(std::make_unique<RunFileReader>(schema_));
+        OVC_RETURN_IF_ERROR(readers.back()->Open(runs[begin + i].path));
+        sources.push_back(readers.back().get());
+      }
+      RunFileWriter writer(schema_, counters_);
+      const std::string path = temp_->NewPath("merge");
+      OVC_RETURN_IF_ERROR(writer.Open(path));
+      RowRef ref;
+      if (config_.use_ovc) {
+        OvcMerger::Options options;
+        options.duplicate_bypass = config_.duplicate_bypass;
+        OvcMerger merger(&codec_, &comparator_, sources, options);
+        while (merger.Next(&ref)) {
+          OVC_RETURN_IF_ERROR(writer.Append(ref.cols, ref.ovc));
+        }
+      } else {
+        PlainMerger merger(&codec_, &comparator_, sources);
+        while (merger.Next(&ref)) {
+          OVC_RETURN_IF_ERROR(
+              writer.Append(ref.cols, codec_.MakeFromRow(ref.cols, 0)));
+        }
+      }
+      OVC_RETURN_IF_ERROR(writer.Close());
+      next_level.push_back(SpilledRun{path, writer.rows()});
+    }
+    runs = std::move(next_level);
+  }
+
+  // Final merge, served incrementally through Next().
+  std::vector<MergeSource*> sources;
+  for (const SpilledRun& run : runs) {
+    readers_.push_back(std::make_unique<RunFileReader>(schema_));
+    OVC_RETURN_IF_ERROR(readers_.back()->Open(run.path));
+    sources.push_back(readers_.back().get());
+  }
+  if (config_.use_ovc) {
+    OvcMerger::Options options;
+    options.duplicate_bypass = config_.duplicate_bypass;
+    merger_ = std::make_unique<OvcMerger>(&codec_, &comparator_, sources,
+                                          options);
+  } else {
+    PlainMerger::Options options;
+    options.derive_output_codes = config_.naive_output_codes;
+    plain_merger_ = std::make_unique<PlainMerger>(&codec_, &comparator_,
+                                                  sources, options);
+  }
+  return Status::Ok();
+}
+
+bool ExternalSort::Next(RowRef* out) {
+  OVC_CHECK(finished_);
+  if (memory_source_ != nullptr) {
+    const uint64_t* row = nullptr;
+    Ovc code = 0;
+    if (!memory_source_->Next(&row, &code)) return false;
+    out->cols = row;
+    out->ovc = code;
+    return true;
+  }
+  if (merger_ != nullptr) {
+    return merger_->Next(out);
+  }
+  if (plain_merger_ != nullptr) {
+    return plain_merger_->Next(out);
+  }
+  return false;  // empty input
+}
+
+}  // namespace ovc

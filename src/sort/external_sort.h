@@ -1,0 +1,107 @@
+// External merge sort with offset-value coding (Sections 3 and 5).
+//
+// Pipeline: consume unsorted rows -> generate sorted runs (in memory when
+// the input fits, spilled to prefix-truncated run files otherwise) -> merge
+// with a tree-of-losers priority queue, cascading in multiple levels when
+// the run count exceeds the merge fan-in. Offset-value codes are produced
+// during run generation, stored in the run format (as truncated prefixes),
+// exploited during merging, and delivered with every output row.
+
+#ifndef OVC_SORT_EXTERNAL_SORT_H_
+#define OVC_SORT_EXTERNAL_SORT_H_
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "common/counters.h"
+#include "common/temp_file.h"
+#include "core/ovc.h"
+#include "core/row_ref.h"
+#include "pq/loser_tree.h"
+#include "pq/plain_loser_tree.h"
+#include "row/row_buffer.h"
+#include "sort/run.h"
+#include "sort/run_file.h"
+#include "sort/run_generation.h"
+
+namespace ovc {
+
+/// Tuning and ablation knobs for ExternalSort.
+struct SortConfig {
+  /// Rows buffered in memory before a run is spilled (the paper's
+  /// "operator's memory holds ... rows").
+  uint64_t memory_rows = uint64_t{1} << 20;
+  /// Maximum merge fan-in; more runs cascade into intermediate merges.
+  uint32_t fan_in = 128;
+  /// In-memory run-generation strategy.
+  RunGenMode run_gen = RunGenMode::kPqSingleRowRuns;
+  /// Mini-run size for RunGenMode::kPqMiniRuns.
+  uint32_t mini_run_rows = 1024;
+  /// Continuous run generation by replacement selection instead of batch
+  /// modes (expected run length twice memory_rows).
+  bool replacement_selection = false;
+  /// Ablation: false disables offset-value coding end to end (plain
+  /// tournaments, full-row run files, full comparisons in merges).
+  bool use_ovc = true;
+  /// Section 5 duplicate bypass in merge steps.
+  bool duplicate_bypass = true;
+  /// With use_ovc == false: derive output codes anyway, the naive way
+  /// (row by row, column by column) -- the paper's expensive strawman.
+  bool naive_output_codes = false;
+};
+
+/// Sorts a stream of rows. Push rows with Add(), call Finish(), then pull
+/// the sorted, offset-value-coded output with Next().
+class ExternalSort {
+ public:
+  /// `schema`, `counters` (optional), and `temp` must outlive the sort.
+  ExternalSort(const Schema* schema, QueryCounters* counters,
+               TempFileManager* temp, SortConfig config);
+  ~ExternalSort();
+
+  /// Adds one input row (copied).
+  void Add(const uint64_t* row);
+
+  /// Ends the input; sorts/spills what remains and prepares the output.
+  Status Finish();
+
+  /// Produces the next output row in sort order with its code. Valid only
+  /// after Finish().
+  bool Next(RowRef* out);
+
+  /// Number of runs spilled to temporary storage (0 for in-memory sorts).
+  uint64_t spilled_runs() const { return spilled_runs_; }
+  /// Number of intermediate merge levels (0 = single final merge or
+  /// in-memory).
+  uint32_t intermediate_merge_levels() const { return merge_levels_; }
+
+ private:
+  Status SpillBuffer();
+  Status PrepareMerge(std::vector<SpilledRun> runs);
+
+  const Schema* schema_;
+  OvcCodec codec_;
+  KeyComparator comparator_;
+  QueryCounters* counters_;
+  TempFileManager* temp_;
+  SortConfig config_;
+
+  RowBuffer buffer_;
+  std::unique_ptr<ReplacementSelection> rs_;
+  std::vector<SpilledRun> runs_;
+  uint64_t spilled_runs_ = 0;
+  uint32_t merge_levels_ = 0;
+  bool finished_ = false;
+
+  // Output plumbing: exactly one of these serves Next().
+  std::unique_ptr<InMemoryRun> memory_run_;
+  std::unique_ptr<InMemoryRunSource> memory_source_;
+  std::vector<std::unique_ptr<RunFileReader>> readers_;
+  std::unique_ptr<OvcMerger> merger_;
+  std::unique_ptr<PlainMerger> plain_merger_;
+};
+
+}  // namespace ovc
+
+#endif  // OVC_SORT_EXTERNAL_SORT_H_

@@ -1,0 +1,3 @@
+#include "sort/run.h"
+
+// Header-only today; this translation unit anchors the library target.

@@ -1,0 +1,74 @@
+// In-memory sorted runs.
+
+#ifndef OVC_SORT_RUN_H_
+#define OVC_SORT_RUN_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "core/ovc.h"
+#include "pq/loser_tree.h"
+#include "row/row_buffer.h"
+
+namespace ovc {
+
+/// A sorted sequence of rows held in memory, each with its offset-value code
+/// relative to the previous row of the run (first row at offset 0).
+class InMemoryRun {
+ public:
+  /// Rows have `width` columns.
+  explicit InMemoryRun(uint32_t width) : rows_(width) {}
+
+  /// Appends the next row of the run with its code.
+  void Append(const uint64_t* row, Ovc code) {
+    rows_.AppendRow(row);
+    codes_.push_back(code);
+  }
+
+  size_t size() const { return rows_.size(); }
+  bool empty() const { return rows_.empty(); }
+  const uint64_t* row(size_t i) const { return rows_.row(i); }
+  Ovc code(size_t i) const { return codes_[i]; }
+  uint32_t width() const { return rows_.width(); }
+
+  void Clear() {
+    rows_.Clear();
+    codes_.clear();
+  }
+
+  /// Pre-allocates storage for `rows` rows, guaranteeing that appends up to
+  /// that count never reallocate (row pointers stay stable).
+  void Reserve(size_t rows) {
+    rows_.ReserveRows(rows);
+    codes_.reserve(rows);
+  }
+
+ private:
+  RowBuffer rows_;
+  std::vector<Ovc> codes_;
+};
+
+/// MergeSource view over an InMemoryRun. The run must outlive the source.
+class InMemoryRunSource : public MergeSource {
+ public:
+  explicit InMemoryRunSource(const InMemoryRun* run) : run_(run) {}
+
+  bool Next(const uint64_t** row, Ovc* code) override {
+    if (pos_ >= run_->size()) return false;
+    *row = run_->row(pos_);
+    *code = run_->code(pos_);
+    ++pos_;
+    return true;
+  }
+
+  /// Restarts the scan from the beginning.
+  void Rewind() { pos_ = 0; }
+
+ private:
+  const InMemoryRun* run_;
+  size_t pos_ = 0;
+};
+
+}  // namespace ovc
+
+#endif  // OVC_SORT_RUN_H_

@@ -1,0 +1,58 @@
+#include "sort/run_file.h"
+
+namespace ovc {
+
+Status RunFileWriter::Open(const std::string& path) {
+  return file_.Open(path);
+}
+
+Status RunFileWriter::Append(const uint64_t* row, Ovc code) {
+  OVC_DCHECK(OvcCodec::IsValid(code));
+  const uint32_t arity = schema_->key_arity();
+  const uint32_t total = schema_->total_columns();
+  const uint16_t offset = static_cast<uint16_t>(codec_.OffsetOf(code));
+  OVC_DCHECK(offset <= arity);
+  OVC_RETURN_IF_ERROR(file_.Write(&offset, sizeof(offset)));
+  // Key columns past the shared prefix, then all payload columns.
+  OVC_RETURN_IF_ERROR(file_.Write(row + offset,
+                                  (arity - offset) * sizeof(uint64_t)));
+  OVC_RETURN_IF_ERROR(
+      file_.Write(row + arity, (total - arity) * sizeof(uint64_t)));
+  ++rows_;
+  if (counters_ != nullptr) {
+    ++counters_->rows_spilled;
+    counters_->bytes_spilled +=
+        sizeof(offset) + (total - offset) * sizeof(uint64_t);
+  }
+  return Status::Ok();
+}
+
+Status RunFileWriter::Close() { return file_.Close(); }
+
+Status RunFileReader::Open(const std::string& path) {
+  OVC_RETURN_IF_ERROR(file_.Open(path));
+  open_ = true;
+  return Status::Ok();
+}
+
+bool RunFileReader::Next(const uint64_t** row, Ovc* code) {
+  OVC_CHECK(open_);
+  if (file_.AtEof()) {
+    return false;
+  }
+  uint16_t offset = 0;
+  OVC_CHECK_OK(file_.Read(&offset, sizeof(offset)));
+  const uint32_t arity = schema_->key_arity();
+  const uint32_t total = schema_->total_columns();
+  OVC_CHECK(offset <= arity);
+  // The shared prefix is already in row_ from the previous row.
+  OVC_CHECK_OK(file_.Read(row_.data() + offset,
+                          (arity - offset) * sizeof(uint64_t)));
+  OVC_CHECK_OK(
+      file_.Read(row_.data() + arity, (total - arity) * sizeof(uint64_t)));
+  *row = row_.data();
+  *code = codec_.MakeFromRow(row_.data(), offset);
+  return true;
+}
+
+}  // namespace ovc

@@ -1,0 +1,91 @@
+// Spilled (on-disk) sorted runs with prefix truncation.
+//
+// The run format stores each row's key with its shared prefix removed: a
+// 16-bit offset (the length of the prefix shared with the predecessor row,
+// which is exactly the offset of the row's offset-value code) followed by
+// the remaining key columns and all payload columns. This realizes the
+// paper's observation (Section 4.12) that ordered storage can "preserve the
+// effort for comparisons spent during index creation ... by prefix
+// truncation", and that scans over such storage produce offset-value codes
+// practically for free: the reader reconstructs each row AND its code
+// without a single column comparison.
+
+#ifndef OVC_SORT_RUN_FILE_H_
+#define OVC_SORT_RUN_FILE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/counters.h"
+#include "common/temp_file.h"
+#include "core/ovc.h"
+#include "pq/loser_tree.h"
+#include "row/schema.h"
+
+namespace ovc {
+
+/// Writes a sorted OVC stream to a prefix-truncated run file.
+class RunFileWriter {
+ public:
+  /// `schema` must outlive the writer; `counters` (optional) accumulates
+  /// spill volume.
+  RunFileWriter(const Schema* schema, QueryCounters* counters)
+      : schema_(schema), codec_(schema), counters_(counters) {}
+
+  /// Opens `path` for writing.
+  Status Open(const std::string& path);
+
+  /// Appends the next row; `code` must be the row's code relative to the
+  /// previously appended row (offset 0 for the first row). The code's
+  /// offset determines how many key columns are truncated.
+  Status Append(const uint64_t* row, Ovc code);
+
+  /// Flushes and closes the file.
+  Status Close();
+
+  /// Rows appended so far.
+  uint64_t rows() const { return rows_; }
+
+ private:
+  const Schema* schema_;
+  OvcCodec codec_;
+  QueryCounters* counters_;
+  FileWriter file_;
+  uint64_t rows_ = 0;
+};
+
+/// Reads a prefix-truncated run file back as a MergeSource: rows come out
+/// with their offset-value codes, at zero column-comparison cost.
+class RunFileReader : public MergeSource {
+ public:
+  explicit RunFileReader(const Schema* schema)
+      : schema_(schema), codec_(schema),
+        row_(schema->total_columns(), 0) {}
+
+  /// Opens `path` for reading.
+  Status Open(const std::string& path);
+
+  /// MergeSource: next row + code. Aborts on I/O errors mid-run (a
+  /// corrupted spill file is not recoverable by the query).
+  bool Next(const uint64_t** row, Ovc* code) override;
+
+ private:
+  const Schema* schema_;
+  OvcCodec codec_;
+  std::vector<uint64_t> row_;  // reconstruction buffer (previous row's
+                               // prefix stays in place)
+  FileReader file_;
+  bool open_ = false;
+};
+
+/// A spilled run: its path and row count. Value type handed between run
+/// generation and merge planning.
+struct SpilledRun {
+  std::string path;
+  uint64_t rows = 0;
+};
+
+}  // namespace ovc
+
+#endif  // OVC_SORT_RUN_FILE_H_

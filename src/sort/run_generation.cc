@@ -1,0 +1,395 @@
+#include "sort/run_generation.h"
+
+#include <algorithm>
+#include <bit>
+#include <cstring>
+
+#include "core/ovc_compare.h"
+#include "core/ovc_reference.h"
+#include "pq/loser_tree.h"
+#include "pq/plain_loser_tree.h"
+#include "sort/run.h"
+
+namespace ovc {
+
+BatchSorter::BatchSorter(const Schema* schema, QueryCounters* counters,
+                         RunGenMode mode, uint32_t mini_run_rows, bool use_ovc,
+                         bool naive_codes)
+    : schema_(schema),
+      codec_(schema),
+      comparator_(schema, counters),
+      counters_(counters),
+      mode_(mode),
+      mini_run_rows_(mini_run_rows),
+      use_ovc_(use_ovc),
+      naive_codes_(naive_codes) {
+  OVC_CHECK(mini_run_rows_ >= 2);
+}
+
+void BatchSorter::Sort(const RowBuffer& buffer, RunSink* sink) {
+  std::vector<const uint64_t*> rows;
+  rows.reserve(buffer.size());
+  for (size_t i = 0; i < buffer.size(); ++i) {
+    rows.push_back(buffer.row(i));
+  }
+  switch (mode_) {
+    case RunGenMode::kPqSingleRowRuns:
+      SortPqSingle(rows, sink);
+      break;
+    case RunGenMode::kPqMiniRuns:
+      SortPqMini(rows, sink);
+      break;
+    case RunGenMode::kStdSort:
+      SortStd(rows, sink);
+      break;
+  }
+}
+
+void BatchSorter::SortPqSingle(const std::vector<const uint64_t*>& rows,
+                               RunSink* sink) {
+  RowRef ref;
+  if (use_ovc_) {
+    PqSorter sorter(&codec_, &comparator_);
+    sorter.Reset(rows.data(), static_cast<uint32_t>(rows.size()));
+    while (sorter.Next(&ref)) {
+      sink->Accept(ref.cols, ref.ovc);
+    }
+  } else {
+    PlainPqSorter sorter(&codec_, &comparator_);
+    sorter.Reset(rows.data(), static_cast<uint32_t>(rows.size()));
+    while (sorter.Next(&ref)) {
+      sink->Accept(ref.cols, codec_.MakeFromRow(ref.cols, 0));
+    }
+  }
+}
+
+void BatchSorter::SortPqMini(const std::vector<const uint64_t*>& rows,
+                             RunSink* sink) {
+  // Sort cache-sized mini-runs, keep them in memory, then merge them all.
+  std::vector<std::unique_ptr<InMemoryRun>> minis;
+  RowRef ref;
+  for (size_t begin = 0; begin < rows.size(); begin += mini_run_rows_) {
+    const uint32_t count = static_cast<uint32_t>(
+        std::min<size_t>(mini_run_rows_, rows.size() - begin));
+    auto mini = std::make_unique<InMemoryRun>(schema_->total_columns());
+    if (use_ovc_) {
+      PqSorter sorter(&codec_, &comparator_);
+      sorter.Reset(rows.data() + begin, count);
+      while (sorter.Next(&ref)) {
+        mini->Append(ref.cols, ref.ovc);
+      }
+    } else {
+      PlainPqSorter sorter(&codec_, &comparator_);
+      sorter.Reset(rows.data() + begin, count);
+      while (sorter.Next(&ref)) {
+        mini->Append(ref.cols, codec_.MakeFromRow(ref.cols, 0));
+      }
+    }
+    minis.push_back(std::move(mini));
+  }
+  if (minis.empty()) return;
+
+  std::vector<std::unique_ptr<InMemoryRunSource>> source_storage;
+  std::vector<MergeSource*> sources;
+  for (const auto& mini : minis) {
+    source_storage.push_back(std::make_unique<InMemoryRunSource>(mini.get()));
+    sources.push_back(source_storage.back().get());
+  }
+  if (use_ovc_) {
+    OvcMerger merger(&codec_, &comparator_, sources);
+    while (merger.Next(&ref)) {
+      sink->Accept(ref.cols, ref.ovc);
+    }
+  } else {
+    PlainMerger::Options options;
+    options.derive_output_codes = naive_codes_;
+    PlainMerger merger(&codec_, &comparator_, sources, options);
+    while (merger.Next(&ref)) {
+      sink->Accept(ref.cols,
+                   naive_codes_ ? ref.ovc : codec_.MakeFromRow(ref.cols, 0));
+    }
+  }
+}
+
+void BatchSorter::SortStd(std::vector<const uint64_t*>& rows, RunSink* sink) {
+  std::stable_sort(rows.begin(), rows.end(),
+                   [this](const uint64_t* a, const uint64_t* b) {
+                     return comparator_.Compare(a, b) < 0;
+                   });
+  if (use_ovc_ || naive_codes_) {
+    // Derive codes the naive way: one adjacent comparison per row.
+    const uint64_t* prev = nullptr;
+    for (const uint64_t* row : rows) {
+      Ovc code;
+      if (prev == nullptr) {
+        code = codec_.MakeInitial(row);
+      } else {
+        const uint32_t d = comparator_.FirstDifference(prev, row, 0);
+        code = codec_.MakeFromRow(row, d);
+      }
+      sink->Accept(row, code);
+      prev = row;
+    }
+  } else {
+    for (const uint64_t* row : rows) {
+      sink->Accept(row, codec_.MakeFromRow(row, 0));
+    }
+  }
+}
+
+ReplacementSelection::ReplacementSelection(const Schema* schema,
+                                           QueryCounters* counters,
+                                           TempFileManager* temp,
+                                           uint32_t capacity)
+    : schema_(schema),
+      codec_(schema),
+      comparator_(schema, counters),
+      counters_(counters),
+      temp_(temp),
+      capacity_(capacity),
+      tree_capacity_(capacity <= 1 ? 1 : std::bit_ceil(capacity)),
+      slots_(schema->total_columns()),
+      prev_emitted_(schema->total_columns(), 0) {
+  OVC_CHECK(capacity >= 1);
+  slots_.ReserveRows(capacity);
+  nodes_.assign(tree_capacity_, Entry{});
+}
+
+ReplacementSelection::~ReplacementSelection() = default;
+
+ReplacementSelection::Entry ReplacementSelection::MakeFreshEntry(
+    const uint64_t* row, uint32_t slot) {
+  // Fresh rows before the tree is built: single-row runs relative to minus
+  // infinity (base sequence 0), all in run 1.
+  Entry e;
+  e.code = codec_.MakeInitial(row);
+  e.run = 1;
+  e.seq = next_seq_++;
+  e.base_seq = 0;
+  e.slot = slot;
+  return e;
+}
+
+ReplacementSelection::Entry ReplacementSelection::PlayMatch(uint32_t node,
+                                                            Entry a,
+                                                            Entry b) {
+  Entry winner, loser;
+  if (a.run != b.run) {
+    // Run numbers decide; codes and bases are untouched (no claim is made
+    // about a cross-run code relationship).
+    if (counters_ != nullptr) ++counters_->code_comparisons;
+    if (a.run < b.run) {
+      winner = a;
+      loser = b;
+    } else {
+      winner = b;
+      loser = a;
+    }
+  } else if (!OvcCodec::IsValid(a.code) || !OvcCodec::IsValid(b.code)) {
+    // At least one fence: the code word decides, no row data is touched.
+    if (counters_ != nullptr) ++counters_->code_comparisons;
+    if (a.code < b.code || (a.code == b.code && a.slot < b.slot)) {
+      winner = a;
+      loser = b;
+    } else {
+      winner = b;
+      loser = a;
+    }
+  } else if (a.base_seq == b.base_seq) {
+    // Same base: offset-value codes apply.
+    const uint64_t* ra = slots_.row(a.slot);
+    const uint64_t* rb = slots_.row(b.slot);
+    const int cmp = CompareWithOvc(codec_, comparator_, ra, &a.code, rb,
+                                   &b.code);
+    if (cmp < 0 || (cmp == 0 && a.slot < b.slot)) {
+      winner = a;
+      loser = b;
+    } else {
+      winner = b;
+      loser = a;
+    }
+    if (cmp == 0) loser.code = codec_.DuplicateCode();
+    // Whether the codes decided (unequal-code theorem) or columns did, the
+    // loser's code is now valid relative to the winner's row.
+    loser.base_seq = winner.seq;
+  } else {
+    // Different bases: one full key comparison re-bases the loser.
+    const uint64_t* ra = slots_.row(a.slot);
+    const uint64_t* rb = slots_.row(b.slot);
+    if (counters_ != nullptr) ++counters_->row_comparisons;
+    const uint32_t d = comparator_.FirstDifference(ra, rb, 0);
+    int cmp = 0;
+    if (d < schema_->key_arity()) {
+      cmp = schema_->NormalizedAt(ra, d) < schema_->NormalizedAt(rb, d) ? -1
+                                                                        : 1;
+    }
+    if (cmp < 0 || (cmp == 0 && a.slot < b.slot)) {
+      winner = a;
+      loser = b;
+    } else {
+      winner = b;
+      loser = a;
+    }
+    loser.code = codec_.MakeFromRow(slots_.row(loser.slot), d);
+    loser.base_seq = winner.seq;
+  }
+  nodes_[node] = loser;
+  return winner;
+}
+
+void ReplacementSelection::BuildTree() {
+  // Recursive tournament over all slots (lambda to keep the recursion local).
+  struct Builder {
+    ReplacementSelection* rs;
+    std::vector<Entry>* leaves;
+    Entry Build(uint32_t node) {
+      if (node >= rs->tree_capacity_) {
+        return (*leaves)[node - rs->tree_capacity_];
+      }
+      Entry a = Build(2 * node);
+      Entry b = Build(2 * node + 1);
+      return rs->PlayMatch(node, a, b);
+    }
+  };
+  std::vector<Entry> leaves(tree_capacity_);
+  for (uint32_t i = 0; i < tree_capacity_; ++i) {
+    if (i < slots_.size()) {
+      leaves[i] = MakeFreshEntry(slots_.row(i), i);
+    } else {
+      leaves[i] = Entry{};  // permanent late fence on padding slots
+      leaves[i].slot = i;
+    }
+  }
+  if (tree_capacity_ == 1) {
+    winner_ = leaves[0];
+  } else {
+    Builder builder{this, &leaves};
+    winner_ = builder.Build(1);
+  }
+  built_ = true;
+}
+
+Status ReplacementSelection::EmitWinner() {
+  const uint64_t* row = slots_.row(winner_.slot);
+  if (winner_.run != current_run_) {
+    // Run boundary: close the current run and start the next.
+    OVC_CHECK(winner_.run == current_run_ + 1);
+    if (writer_ != nullptr) {
+      OVC_RETURN_IF_ERROR(writer_->Close());
+      runs_.push_back(SpilledRun{current_path_, writer_->rows()});
+      writer_.reset();
+    }
+    current_run_ = winner_.run;
+    run_has_rows_ = false;
+  }
+  if (writer_ == nullptr) {
+    writer_ = std::make_unique<RunFileWriter>(schema_, counters_);
+    current_path_ = temp_->NewPath("rs-run");
+    OVC_RETURN_IF_ERROR(writer_->Open(current_path_));
+  }
+  Ovc out_code;
+  if (!run_has_rows_) {
+    // First row of a run: coded relative to minus infinity.
+    out_code = codec_.MakeInitial(row);
+  } else if (winner_.base_seq == prev_emitted_seq_) {
+    out_code = winner_.code;
+  } else {
+    // The winner's code is relative to an older base; re-derive against the
+    // previously emitted row. Only happens around run boundaries.
+    if (counters_ != nullptr) ++counters_->row_comparisons;
+    const uint32_t d =
+        comparator_.FirstDifference(prev_emitted_.data(), row, 0);
+    out_code = codec_.MakeFromRow(row, d);
+  }
+  OVC_RETURN_IF_ERROR(writer_->Append(row, out_code));
+  std::memcpy(prev_emitted_.data(), row,
+              schema_->total_columns() * sizeof(uint64_t));
+  prev_emitted_seq_ = winner_.seq;
+  run_has_rows_ = true;
+  return Status::Ok();
+}
+
+Status ReplacementSelection::PopAndReplace(const Entry& replacement) {
+  OVC_RETURN_IF_ERROR(EmitWinner());
+  Entry cand = replacement;
+  uint32_t node = (tree_capacity_ + winner_.slot) >> 1;
+  while (node >= 1) {
+    cand = PlayMatch(node, cand, nodes_[node]);
+    node >>= 1;
+  }
+  winner_ = cand;
+  return Status::Ok();
+}
+
+Status ReplacementSelection::Add(const uint64_t* row) {
+  if (slots_.size() < capacity_) {
+    slots_.AppendRow(row);
+    return Status::Ok();
+  }
+  if (!built_) {
+    BuildTree();
+  }
+  // The winner leaves; the fresh row takes its slot. One extra comparison
+  // per input row -- against the emitted winner -- assigns the run number
+  // and primes the fresh row's offset-value code.
+  const uint32_t slot = winner_.slot;
+  const uint64_t* emitted = slots_.row(slot);
+  Entry fresh;
+  fresh.slot = slot;
+  fresh.seq = next_seq_++;
+  if (counters_ != nullptr) ++counters_->row_comparisons;
+  const uint32_t d = comparator_.FirstDifference(emitted, row, 0);
+  if (d == schema_->key_arity()) {
+    fresh.run = winner_.run;
+    fresh.code = codec_.DuplicateCode();
+    fresh.base_seq = winner_.seq;
+  } else if (schema_->NormalizedAt(row, d) > schema_->NormalizedAt(emitted, d)) {
+    fresh.run = winner_.run;
+    fresh.code = codec_.MakeFromRow(row, d);
+    fresh.base_seq = winner_.seq;
+  } else {
+    // Sorts before the last winner: next run, coded against minus infinity.
+    fresh.run = winner_.run + 1;
+    fresh.code = codec_.MakeInitial(row);
+    fresh.base_seq = 0;
+  }
+  Status s = EmitWinner();
+  if (!s.ok()) return s;
+  // Overwrite the slot only after emitting (EmitWinner reads the row).
+  std::memcpy(slots_.mutable_row(slot), row,
+              schema_->total_columns() * sizeof(uint64_t));
+  Entry cand = fresh;
+  uint32_t node = (tree_capacity_ + slot) >> 1;
+  while (node >= 1) {
+    cand = PlayMatch(node, cand, nodes_[node]);
+    node >>= 1;
+  }
+  winner_ = cand;
+  return Status::Ok();
+}
+
+Status ReplacementSelection::Finish() {
+  if (!built_) {
+    if (slots_.empty()) {
+      return Status::Ok();
+    }
+    BuildTree();
+  }
+  while (OvcCodec::IsValid(winner_.code)) {
+    Entry fence;  // defaults: late fence, infinite run
+    fence.slot = winner_.slot;
+    OVC_RETURN_IF_ERROR(PopAndReplace(fence));
+  }
+  if (writer_ != nullptr) {
+    OVC_RETURN_IF_ERROR(writer_->Close());
+    runs_.push_back(SpilledRun{current_path_, writer_->rows()});
+    writer_.reset();
+  }
+  return Status::Ok();
+}
+
+std::vector<SpilledRun> ReplacementSelection::TakeRuns() {
+  return std::move(runs_);
+}
+
+}  // namespace ovc

@@ -1,0 +1,395 @@
+#include "storage/btree.h"
+
+#include <algorithm>
+#include <cstring>
+
+namespace ovc {
+
+struct BTree::Node {
+  Node(bool is_leaf, uint32_t width)
+      : leaf(is_leaf), rows(width), separators(width) {}
+
+  bool leaf;
+  // Leaf payload.
+  RowBuffer rows;
+  std::vector<Ovc> codes;
+  Node* prev = nullptr;
+  Node* next = nullptr;
+  // Internal payload: separators[i] is a lower bound for children[i]'s keys
+  // (exact at split time; deletions may make it conservative, which keeps
+  // routing correct because keys only disappear).
+  RowBuffer separators;
+  std::vector<Node*> children;
+};
+
+BTree::BTree(const Schema* schema, QueryCounters* counters,
+             uint32_t node_capacity)
+    : schema_(schema),
+      codec_(schema),
+      comparator_(schema, counters),
+      counters_(counters),
+      node_capacity_(node_capacity) {
+  OVC_CHECK(node_capacity >= 4);
+  root_ = new Node(/*is_leaf=*/true, schema->total_columns());
+}
+
+void BTree::DestroyRecursive(Node* node) {
+  if (!node->leaf) {
+    for (Node* child : node->children) {
+      DestroyRecursive(child);
+    }
+  }
+  delete node;
+}
+
+BTree::~BTree() { DestroyRecursive(root_); }
+
+BTree::Node* BTree::LeftmostLeaf() const {
+  Node* n = root_;
+  while (!n->leaf) {
+    n = n->children.front();
+  }
+  return n;
+}
+
+void BTree::FindLowerBound(const uint64_t* key_row, Node** leaf,
+                           uint32_t* pos) const {
+  Node* n = root_;
+  while (!n->leaf) {
+    // Largest child whose separator sorts strictly before the key.
+    uint32_t lo = 1, hi = static_cast<uint32_t>(n->children.size());
+    while (lo < hi) {
+      const uint32_t mid = lo + (hi - lo) / 2;
+      if (comparator_.Compare(n->separators.row(mid), key_row) < 0) {
+        lo = mid + 1;
+      } else {
+        hi = mid;
+      }
+    }
+    n = n->children[lo - 1];
+  }
+  // In-leaf lower bound.
+  uint32_t lo = 0, hi = static_cast<uint32_t>(n->rows.size());
+  while (lo < hi) {
+    const uint32_t mid = lo + (hi - lo) / 2;
+    if (comparator_.Compare(n->rows.row(mid), key_row) < 0) {
+      lo = mid + 1;
+    } else {
+      hi = mid;
+    }
+  }
+  // The lower bound may live in a following leaf (conservative separators,
+  // empty leaves).
+  while (lo >= n->rows.size() && n->next != nullptr) {
+    n = n->next;
+    lo = 0;
+  }
+  *leaf = n;
+  *pos = lo;
+}
+
+bool BTree::NextEntry(Node* leaf, uint32_t pos, Node** out_leaf,
+                      uint32_t* out_pos) const {
+  if (pos + 1 < leaf->rows.size()) {
+    *out_leaf = leaf;
+    *out_pos = pos + 1;
+    return true;
+  }
+  Node* n = leaf->next;
+  while (n != nullptr && n->rows.empty()) n = n->next;
+  if (n == nullptr) return false;
+  *out_leaf = n;
+  *out_pos = 0;
+  return true;
+}
+
+void BTree::FixupSuccessorAfterInsert(Node* leaf, uint32_t new_pos) {
+  Node* succ_leaf = nullptr;
+  uint32_t succ_pos = 0;
+  if (!NextEntry(leaf, new_pos, &succ_leaf, &succ_pos)) return;
+
+  const Ovc x_code = leaf->codes[new_pos];
+  Ovc& succ_code = succ_leaf->codes[succ_pos];
+  // Theorem: ovc(P,N) = max(ovc(P,X), ovc(X,N)), so ovc(P,X) <= ovc(P,N).
+  OVC_DCHECK(x_code <= succ_code);
+  if (x_code < succ_code) {
+    // max is ovc(X,N) = the stored code: nothing to do, no comparison.
+    ++free_code_fixups_;
+    return;
+  }
+  // Equal codes: the difference lies past the shared prefix and value.
+  ++compared_code_fixups_;
+  const uint64_t* x_row = leaf->rows.row(new_pos);
+  const uint64_t* succ_row = succ_leaf->rows.row(succ_pos);
+  const uint32_t d =
+      comparator_.FirstDifference(x_row, succ_row, codec_.ResumeColumn(x_code));
+  succ_code = codec_.MakeFromRow(succ_row, d);
+}
+
+void BTree::FixupSuccessorAfterDelete(Node* leaf, uint32_t del_pos,
+                                      Ovc deleted_code) {
+  Node* succ_leaf = nullptr;
+  uint32_t succ_pos = 0;
+  if (!NextEntry(leaf, del_pos, &succ_leaf, &succ_pos)) return;
+  // The theorem applied directly: ovc(P,N) = max(ovc(P,X), ovc(X,N)).
+  // Zero column comparisons, always.
+  succ_leaf->codes[succ_pos] =
+      std::max(deleted_code, succ_leaf->codes[succ_pos]);
+  ++free_code_fixups_;
+}
+
+BTree::SplitResult BTree::InsertInto(Node* node, const uint64_t* row) {
+  if (node->leaf) {
+    // Upper bound: new duplicates go after existing equal keys.
+    uint32_t lo = 0, hi = static_cast<uint32_t>(node->rows.size());
+    while (lo < hi) {
+      const uint32_t mid = lo + (hi - lo) / 2;
+      if (comparator_.Compare(node->rows.row(mid), row) <= 0) {
+        lo = mid + 1;
+      } else {
+        hi = mid;
+      }
+    }
+    // Compute the new row's code against its predecessor.
+    const uint64_t* pred = nullptr;
+    if (lo > 0) {
+      pred = node->rows.row(lo - 1);
+    } else {
+      Node* p = node->prev;
+      while (p != nullptr && p->rows.empty()) p = p->prev;
+      if (p != nullptr) pred = p->rows.row(p->rows.size() - 1);
+    }
+    Ovc code;
+    if (pred == nullptr) {
+      code = codec_.MakeInitial(row);
+    } else {
+      const uint32_t d = comparator_.FirstDifference(pred, row, 0);
+      code = codec_.MakeFromRow(row, d);
+    }
+    // Insert at position lo (RowBuffer has no insert; rebuild tail).
+    const uint32_t width = node->rows.width();
+    node->rows.AppendRow(row);  // grows by one; now shift into place
+    for (uint32_t i = static_cast<uint32_t>(node->rows.size()) - 1; i > lo;
+         --i) {
+      std::memcpy(node->rows.mutable_row(i), node->rows.row(i - 1),
+                  width * sizeof(uint64_t));
+    }
+    std::memcpy(node->rows.mutable_row(lo), row, width * sizeof(uint64_t));
+    node->codes.insert(node->codes.begin() + lo, code);
+    FixupSuccessorAfterInsert(node, lo);
+
+    if (node->rows.size() <= node_capacity_) {
+      return SplitResult{};
+    }
+    // Split: move the upper half to a new right sibling. Codes move
+    // unchanged -- predecessor relationships are unaffected.
+    Node* right = new Node(/*is_leaf=*/true, width);
+    const uint32_t mid = static_cast<uint32_t>(node->rows.size()) / 2;
+    for (uint32_t i = mid; i < node->rows.size(); ++i) {
+      right->rows.AppendRow(node->rows.row(i));
+      right->codes.push_back(node->codes[i]);
+    }
+    RowBuffer left_rows(width);
+    std::vector<Ovc> left_codes;
+    for (uint32_t i = 0; i < mid; ++i) {
+      left_rows.AppendRow(node->rows.row(i));
+      left_codes.push_back(node->codes[i]);
+    }
+    node->rows = std::move(left_rows);
+    node->codes = std::move(left_codes);
+    right->next = node->next;
+    if (right->next != nullptr) right->next->prev = right;
+    right->prev = node;
+    node->next = right;
+    return SplitResult{right};
+  }
+
+  // Internal node: route with <= so duplicates insert after equals.
+  uint32_t lo = 1, hi = static_cast<uint32_t>(node->children.size());
+  while (lo < hi) {
+    const uint32_t mid = lo + (hi - lo) / 2;
+    if (comparator_.Compare(node->separators.row(mid), row) <= 0) {
+      lo = mid + 1;
+    } else {
+      hi = mid;
+    }
+  }
+  const uint32_t child_idx = lo - 1;
+  SplitResult child_split = InsertInto(node->children[child_idx], row);
+  if (child_split.right == nullptr) {
+    return SplitResult{};
+  }
+  // Install the new child with its first key as separator.
+  Node* right_child = child_split.right;
+  const uint64_t* sep = right_child->leaf
+                            ? right_child->rows.row(0)
+                            : right_child->separators.row(0);
+  const uint32_t width = node->separators.width();
+  node->separators.AppendRow(sep);
+  for (uint32_t i = static_cast<uint32_t>(node->separators.size()) - 1;
+       i > child_idx + 1; --i) {
+    std::memcpy(node->separators.mutable_row(i), node->separators.row(i - 1),
+                width * sizeof(uint64_t));
+  }
+  std::memcpy(node->separators.mutable_row(child_idx + 1), sep,
+              width * sizeof(uint64_t));
+  node->children.insert(node->children.begin() + child_idx + 1, right_child);
+
+  if (node->children.size() <= node_capacity_) {
+    return SplitResult{};
+  }
+  // Split the internal node.
+  Node* right = new Node(/*is_leaf=*/false, width);
+  const uint32_t mid = static_cast<uint32_t>(node->children.size()) / 2;
+  for (uint32_t i = mid; i < node->children.size(); ++i) {
+    right->separators.AppendRow(node->separators.row(i));
+    right->children.push_back(node->children[i]);
+  }
+  RowBuffer left_seps(width);
+  std::vector<Node*> left_children;
+  for (uint32_t i = 0; i < mid; ++i) {
+    left_seps.AppendRow(node->separators.row(i));
+    left_children.push_back(node->children[i]);
+  }
+  node->separators = std::move(left_seps);
+  node->children = std::move(left_children);
+  return SplitResult{right};
+}
+
+void BTree::Insert(const uint64_t* row) {
+  SplitResult split = InsertInto(root_, row);
+  if (split.right != nullptr) {
+    Node* new_root = new Node(/*is_leaf=*/false, schema_->total_columns());
+    const uint64_t* left_sep =
+        root_->leaf ? (root_->rows.empty() ? split.right->rows.row(0)
+                                           : root_->rows.row(0))
+                    : root_->separators.row(0);
+    new_root->separators.AppendRow(left_sep);
+    new_root->children.push_back(root_);
+    const uint64_t* right_sep = split.right->leaf
+                                    ? split.right->rows.row(0)
+                                    : split.right->separators.row(0);
+    new_root->separators.AppendRow(right_sep);
+    new_root->children.push_back(split.right);
+    root_ = new_root;
+    ++height_;
+  }
+  ++size_;
+}
+
+bool BTree::Delete(const uint64_t* key_row) {
+  Node* leaf = nullptr;
+  uint32_t pos = 0;
+  FindLowerBound(key_row, &leaf, &pos);
+  if (pos >= leaf->rows.size() ||
+      comparator_.Compare(leaf->rows.row(pos), key_row) != 0) {
+    return false;
+  }
+  const Ovc deleted_code = leaf->codes[pos];
+  FixupSuccessorAfterDelete(leaf, pos, deleted_code);
+  // Erase the entry (shift down).
+  const uint32_t width = leaf->rows.width();
+  for (uint32_t i = pos; i + 1 < leaf->rows.size(); ++i) {
+    std::memcpy(leaf->rows.mutable_row(i), leaf->rows.row(i + 1),
+                width * sizeof(uint64_t));
+  }
+  // Shrink by rebuilding without the last row.
+  RowBuffer shrunk(width);
+  for (uint32_t i = 0; i + 1 < leaf->rows.size(); ++i) {
+    shrunk.AppendRow(leaf->rows.row(i));
+  }
+  leaf->rows = std::move(shrunk);
+  leaf->codes.erase(leaf->codes.begin() + pos);
+  --size_;
+  return true;
+}
+
+/// Ordered scan over the leaf chain; codes come straight from storage.
+class BTreeScanImpl : public Operator {
+ public:
+  BTreeScanImpl(const Schema* schema, const OvcCodec* codec,
+                BTree::Node* start_leaf, uint32_t start_pos,
+                BTree::Node* end_leaf, uint32_t end_pos, bool rebase_first)
+      : schema_(schema),
+        codec_(codec),
+        start_leaf_(start_leaf),
+        start_pos_(start_pos),
+        end_leaf_(end_leaf),
+        end_pos_(end_pos),
+        rebase_first_(rebase_first) {}
+
+  void Open() override {
+    leaf_ = start_leaf_;
+    pos_ = start_pos_;
+    first_ = true;
+  }
+
+  bool Next(RowRef* out) override {
+    while (leaf_ != nullptr) {
+      if (leaf_ == end_leaf_ && pos_ >= end_pos_) return false;
+      if (pos_ < leaf_->rows.size()) break;
+      leaf_ = leaf_->next;
+      pos_ = 0;
+    }
+    if (leaf_ == nullptr) return false;
+    out->cols = leaf_->rows.row(pos_);
+    out->ovc = leaf_->codes[pos_];
+    if (first_ && rebase_first_) {
+      // A range scan starts mid-stream: the first row's stored code is
+      // relative to a row outside the range.
+      out->ovc = codec_->MakeInitial(out->cols);
+    }
+    first_ = false;
+    ++pos_;
+    return true;
+  }
+
+  void Close() override {}
+  const Schema& schema() const override { return *schema_; }
+  bool sorted() const override { return true; }
+  bool has_ovc() const override { return true; }
+
+ private:
+  const Schema* schema_;
+  const OvcCodec* codec_;
+  BTree::Node* start_leaf_;
+  uint32_t start_pos_;
+  BTree::Node* end_leaf_;
+  uint32_t end_pos_;
+  bool rebase_first_;
+
+  BTree::Node* leaf_ = nullptr;
+  uint32_t pos_ = 0;
+  bool first_ = true;
+};
+
+std::unique_ptr<Operator> BTree::Scan() const {
+  return std::make_unique<BTreeScanImpl>(schema_, &codec_, LeftmostLeaf(), 0,
+                                         nullptr, 0, /*rebase_first=*/false);
+}
+
+std::unique_ptr<Operator> BTree::RangeScan(const uint64_t* low_key,
+                                           const uint64_t* high_key) const {
+  Node* start_leaf = nullptr;
+  uint32_t start_pos = 0;
+  FindLowerBound(low_key, &start_leaf, &start_pos);
+
+  // End bound: the first entry strictly greater than high_key. Reuse
+  // FindLowerBound and advance over equal keys.
+  Node* end_leaf = nullptr;
+  uint32_t end_pos = 0;
+  FindLowerBound(high_key, &end_leaf, &end_pos);
+  while (end_leaf != nullptr && end_pos < end_leaf->rows.size() &&
+         comparator_.Compare(end_leaf->rows.row(end_pos), high_key) == 0) {
+    ++end_pos;
+    while (end_pos >= end_leaf->rows.size() && end_leaf->next != nullptr) {
+      end_leaf = end_leaf->next;
+      end_pos = 0;
+    }
+  }
+  return std::make_unique<BTreeScanImpl>(schema_, &codec_, start_leaf,
+                                         start_pos, end_leaf, end_pos,
+                                         /*rebase_first=*/true);
+}
+
+}  // namespace ovc

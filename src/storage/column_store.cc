@@ -1,0 +1,113 @@
+#include "storage/column_store.h"
+
+#include "core/ovc.h"
+
+namespace ovc {
+
+RleColumnStore::RleColumnStore(const Schema* schema) : schema_(schema) {
+  key_columns_.resize(schema->key_arity());
+  payload_columns_.resize(schema->payload_columns());
+}
+
+void RleColumnStore::Build(Operator* sorted_input) {
+  OVC_CHECK(sorted_input->sorted() && sorted_input->has_ovc());
+  OVC_CHECK(sorted_input->schema() == *schema_);
+  OvcCodec codec(schema_);
+  sorted_input->Open();
+  RowRef ref;
+  while (sorted_input->Next(&ref)) {
+    // The code's offset tells exactly which key columns start new segments:
+    // columns before the offset extend their current segment, the column at
+    // the offset and beyond begin fresh ones. (Columns past the offset
+    // could coincidentally repeat their previous value; starting a new
+    // segment there is valid RLE and keeps the build comparison-free.)
+    const uint32_t offset =
+        rows_ == 0 ? 0
+                   : (codec.IsDuplicate(ref.ovc) ? schema_->key_arity()
+                                                 : codec.OffsetOf(ref.ovc));
+    for (uint32_t c = 0; c < schema_->key_arity(); ++c) {
+      if (c < offset) {
+        ++key_columns_[c].back().count;
+      } else {
+        key_columns_[c].push_back(Segment{ref.cols[c], 1});
+      }
+    }
+    for (uint32_t p = 0; p < schema_->payload_columns(); ++p) {
+      payload_columns_[p].push_back(ref.cols[schema_->key_arity() + p]);
+    }
+    ++rows_;
+  }
+  sorted_input->Close();
+}
+
+uint64_t RleColumnStore::total_segments() const {
+  uint64_t total = 0;
+  for (const auto& col : key_columns_) {
+    total += col.size();
+  }
+  return total;
+}
+
+/// Scan over the RLE store: codes from segment counters only.
+class RleColumnScan : public Operator {
+ public:
+  explicit RleColumnScan(const RleColumnStore* store)
+      : store_(store),
+        codec_(store->schema_),
+        row_(store->schema_->total_columns(), 0) {}
+
+  void Open() override {
+    const uint32_t arity = store_->schema_->key_arity();
+    seg_idx_.assign(arity, 0);
+    seg_left_.assign(arity, 0);
+    pos_ = 0;
+  }
+
+  bool Next(RowRef* out) override {
+    if (pos_ >= store_->rows_) return false;
+    const uint32_t arity = store_->schema_->key_arity();
+    // The offset is the first key column whose current segment is used up.
+    uint32_t offset = arity;
+    for (uint32_t c = 0; c < arity; ++c) {
+      if (seg_left_[c] == 0) {
+        if (offset == arity) offset = c;
+        const auto& seg = store_->key_columns_[c][pos_ == 0 ? 0 : seg_idx_[c]];
+        row_[c] = seg.value;
+        seg_left_[c] = seg.count;
+      }
+    }
+    for (uint32_t c = 0; c < arity; ++c) {
+      --seg_left_[c];
+      if (seg_left_[c] == 0) {
+        ++seg_idx_[c];  // next Next() reloads this column
+      }
+    }
+    for (uint32_t p = 0; p < store_->schema_->payload_columns(); ++p) {
+      row_[arity + p] = store_->payload_columns_[p][pos_];
+    }
+    out->cols = row_.data();
+    out->ovc = pos_ == 0 ? codec_.MakeInitial(row_.data())
+                         : codec_.MakeFromRow(row_.data(), offset);
+    ++pos_;
+    return true;
+  }
+
+  void Close() override {}
+  const Schema& schema() const override { return *store_->schema_; }
+  bool sorted() const override { return true; }
+  bool has_ovc() const override { return true; }
+
+ private:
+  const RleColumnStore* store_;
+  OvcCodec codec_;
+  std::vector<uint64_t> row_;
+  std::vector<size_t> seg_idx_;
+  std::vector<uint64_t> seg_left_;
+  uint64_t pos_ = 0;
+};
+
+std::unique_ptr<Operator> RleColumnStore::CreateScan() const {
+  return std::make_unique<RleColumnScan>(this);
+}
+
+}  // namespace ovc

@@ -1,0 +1,82 @@
+// Non-unique secondary index with sorted, compressed RID lists
+// (Section 4.11).
+//
+// "In non-unique secondary indexes, lists of row identifiers are usually
+// sorted and compressed ... Range queries need to merge lists of row
+// identifiers; again, the merge logic consumes, benefits from, and produces
+// offset-value codes." Multi-dimensional access (MDAM) and index
+// intersection ("index-only retrieval") build on the same sorted RID
+// streams.
+//
+// RID lists are delta-varint compressed. A RID stream is a sorted,
+// offset-value-coded stream of single-column rows, so all the engine's
+// merge machinery applies to it unchanged: range queries merge the lists of
+// the qualifying values with a tree-of-losers merge, and index intersection
+// is a merge join (left semi) on RID.
+
+#ifndef OVC_STORAGE_RID_INDEX_H_
+#define OVC_STORAGE_RID_INDEX_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "common/counters.h"
+#include "exec/operator.h"
+#include "row/row_buffer.h"
+
+namespace ovc {
+
+/// The schema of a RID stream: one ascending key column (the RID).
+const Schema& RidStreamSchema();
+
+/// Secondary index on one column of a stored table.
+class RidIndex {
+ public:
+  RidIndex() = default;
+
+  /// Indexes `column` of `table`; RID = row position.
+  void Build(const RowBuffer& table, uint32_t column);
+
+  /// Number of distinct indexed values.
+  size_t distinct_values() const { return lists_.size(); }
+  /// Total compressed bytes across all RID lists.
+  uint64_t compressed_bytes() const;
+
+  /// Sorted RID stream for one value (empty stream when absent).
+  std::unique_ptr<Operator> Lookup(uint64_t value) const;
+
+  /// Sorted RID stream for all values in [low, high]: the qualifying lists
+  /// are merged with an OVC tree-of-losers merge. `counters` (optional)
+  /// meters the merge.
+  std::unique_ptr<Operator> RangeScan(uint64_t low, uint64_t high,
+                                      QueryCounters* counters) const;
+
+  /// MDAM-style multi-value access: the union of the RID lists of an
+  /// explicit value set (e.g. an IN-list), merged order-preservingly.
+  std::unique_ptr<Operator> MultiLookup(const std::vector<uint64_t>& values,
+                                        QueryCounters* counters) const;
+
+ private:
+  friend class RidListScan;
+
+  /// One value's delta-varint compressed, sorted RID list.
+  struct RidList {
+    std::vector<uint8_t> bytes;
+    uint64_t count = 0;
+    uint64_t last_rid = 0;  // build-time state
+  };
+
+  std::map<uint64_t, RidList> lists_;
+};
+
+/// Index intersection: RIDs present in both sorted RID streams (a merge
+/// join, left semi, on the RID column). Both operators must outlive the
+/// returned one.
+std::unique_ptr<Operator> IntersectRidStreams(Operator* a, Operator* b,
+                                              QueryCounters* counters);
+
+}  // namespace ovc
+
+#endif  // OVC_STORAGE_RID_INDEX_H_

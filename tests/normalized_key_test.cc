@@ -1,0 +1,151 @@
+// Byte-offset offset-value coding over normalized keys (the CFC model):
+// order preservation of normalization, the theorem and corollaries at byte
+// granularity, and code-decided comparisons.
+
+#include <algorithm>
+#include <cstring>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/normalized_key.h"
+#include "test_util.h"
+
+namespace ovc {
+namespace {
+
+using ::ovc::testing::MakeTable;
+
+TEST(NormalizeKey, OrderPreserving) {
+  Schema schema({SortDirection::kAscending, SortDirection::kDescending}, 0);
+  KeyComparator cmp(&schema, nullptr);
+  RowBuffer rows = MakeTable(schema, 300, 50, /*seed=*/1);
+  for (size_t i = 1; i < rows.size(); ++i) {
+    const NormalizedKey a = NormalizeKey(schema, rows.row(i - 1));
+    const NormalizedKey b = NormalizeKey(schema, rows.row(i));
+    const int row_cmp = cmp.Compare(rows.row(i - 1), rows.row(i));
+    const int mem_cmp = std::memcmp(a.data(), b.data(), a.size());
+    EXPECT_EQ(row_cmp < 0, mem_cmp < 0) << i;
+    EXPECT_EQ(row_cmp == 0, mem_cmp == 0) << i;
+  }
+}
+
+struct ByteParam {
+  uint32_t arity;
+  uint32_t block_bytes;
+};
+
+class ByteCodecTest : public ::testing::TestWithParam<ByteParam> {};
+
+TEST_P(ByteCodecTest, TheoremMaxRuleAtByteGranularity) {
+  const auto p = GetParam();
+  Schema schema(p.arity);
+  ByteOvcCodec codec(p.arity * 8, p.block_bytes);
+  RowBuffer rows = MakeTable(schema, 300, 3, /*seed=*/2, /*sorted=*/true);
+  std::vector<NormalizedKey> keys;
+  for (size_t i = 0; i < rows.size(); ++i) {
+    keys.push_back(NormalizeKey(schema, rows.row(i)));
+  }
+  for (size_t i = 0; i + 2 < keys.size(); ++i) {
+    const Ovc ab = codec.Make(keys[i], keys[i + 1]);
+    const Ovc bc = codec.Make(keys[i + 1], keys[i + 2]);
+    const Ovc ac = codec.Make(keys[i], keys[i + 2]);
+    EXPECT_EQ(ac, std::max(ab, bc)) << "triple at " << i;
+  }
+}
+
+TEST_P(ByteCodecTest, CorollariesAtByteGranularity) {
+  const auto p = GetParam();
+  Schema schema(p.arity);
+  ByteOvcCodec codec(p.arity * 8, p.block_bytes);
+  RowBuffer rows = MakeTable(schema, 300, 3, /*seed=*/3, /*sorted=*/true);
+  std::vector<NormalizedKey> keys;
+  for (size_t i = 0; i < rows.size(); ++i) {
+    keys.push_back(NormalizeKey(schema, rows.row(i)));
+  }
+  KeyComparator cmp(&schema, nullptr);
+  for (size_t i = 0; i + 2 < keys.size(); ++i) {
+    if (cmp.Compare(rows.row(i), rows.row(i + 1)) == 0 ||
+        cmp.Compare(rows.row(i + 1), rows.row(i + 2)) == 0) {
+      continue;
+    }
+    const Ovc ab = codec.Make(keys[i], keys[i + 1]);
+    const Ovc ac = codec.Make(keys[i], keys[i + 2]);
+    if (ab < ac) {
+      // Unequal-code corollary.
+      EXPECT_EQ(codec.Make(keys[i + 1], keys[i + 2]), ac) << i;
+    } else if (ab == ac) {
+      // Equal-code corollary.
+      EXPECT_LT(codec.Make(keys[i + 1], keys[i + 2]), ac) << i;
+    }
+  }
+}
+
+TEST_P(ByteCodecTest, CompareMatchesMemcmpAndUpdatesLoser) {
+  const auto p = GetParam();
+  Schema schema(p.arity);
+  ByteOvcCodec codec(p.arity * 8, p.block_bytes);
+  RowBuffer rows = MakeTable(schema, 200, 3, /*seed=*/4, /*sorted=*/true);
+  std::vector<NormalizedKey> keys;
+  for (size_t i = 0; i < rows.size(); ++i) {
+    keys.push_back(NormalizeKey(schema, rows.row(i)));
+  }
+  uint64_t bytes = 0;
+  for (size_t i = 2; i < keys.size(); ++i) {
+    // B and C relative to the shared base A = keys[i-2].
+    Ovc cb = codec.Make(keys[i - 2], keys[i - 1]);
+    Ovc cc = codec.Make(keys[i - 2], keys[i]);
+    const int got = codec.Compare(keys[i - 1], &cb, keys[i], &cc, &bytes);
+    const int want = std::memcmp(keys[i - 1].data(), keys[i].data(),
+                                 keys[i].size());
+    EXPECT_EQ(got < 0, want < 0) << i;
+    EXPECT_EQ(got == 0, want == 0) << i;
+    if (got < 0) {
+      // Loser (C) now coded relative to the winner (B).
+      EXPECT_EQ(cc, codec.Make(keys[i - 1], keys[i])) << i;
+    }
+  }
+  // Byte-block codes decide the vast majority of comparisons: far fewer
+  // bytes touched than full-key comparisons would cost.
+  EXPECT_LT(bytes, (keys.size() - 2) * p.arity * 8 / 2);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    BlockSizes, ByteCodecTest,
+    ::testing::Values(ByteParam{2, 1}, ByteParam{2, 4}, ByteParam{4, 2},
+                      ByteParam{4, 6}, ByteParam{8, 4}),
+    [](const ::testing::TestParamInfo<ByteParam>& info) {
+      return "arity" + std::to_string(info.param.arity) + "_block" +
+             std::to_string(info.param.block_bytes);
+    });
+
+TEST(ByteCodec, FinerOffsetsThanColumnCodes) {
+  // Two keys differing only in the low byte of their last column: the
+  // column codec sees offset = arity-1; the byte codec (1-byte blocks)
+  // sees a shared prefix of 8*arity - 1 bytes.
+  Schema schema(2);
+  const uint64_t a[2] = {5, 0x1122334455667700ULL};
+  const uint64_t b[2] = {5, 0x1122334455667788ULL};
+  OvcCodec column_codec(&schema);
+  ByteOvcCodec byte_codec(16, 1);
+  const NormalizedKey na = NormalizeKey(schema, a);
+  const NormalizedKey nb = NormalizeKey(schema, b);
+  EXPECT_EQ(column_codec.OffsetOf(
+                column_codec.MakeFromRow(b, /*offset=*/1)),
+            1u);
+  EXPECT_EQ(byte_codec.OffsetOf(byte_codec.Make(na, nb)), 15u);
+  EXPECT_EQ(ByteOvcCodec::ValueOf(byte_codec.Make(na, nb)), 0x88u);
+}
+
+TEST(ByteCodec, DuplicateAndInitialCodes) {
+  Schema schema(3);
+  ByteOvcCodec codec(24, 4);
+  const uint64_t r[3] = {1, 2, 3};
+  const NormalizedKey k = NormalizeKey(schema, r);
+  EXPECT_EQ(codec.Make(k, k), codec.DuplicateCode());
+  EXPECT_EQ(codec.OffsetOf(codec.MakeInitial(k)), 0u);
+  EXPECT_EQ(codec.blocks(), 6u);
+}
+
+}  // namespace
+}  // namespace ovc

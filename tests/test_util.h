@@ -1,0 +1,93 @@
+// Shared helpers for the test suite: naive reference implementations and
+// checker-driven stream validation.
+
+#ifndef OVC_TESTS_TEST_UTIL_H_
+#define OVC_TESTS_TEST_UTIL_H_
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/ovc_checker.h"
+#include "exec/operator.h"
+#include "row/generator.h"
+#include "row/row_buffer.h"
+#include "row/schema.h"
+
+namespace ovc::testing {
+
+/// A materialized table as vectors of rows, for order-insensitive
+/// comparisons against reference results.
+using RowVec = std::vector<std::vector<uint64_t>>;
+
+/// Materializes `buffer` into a RowVec.
+inline RowVec ToRowVec(const RowBuffer& buffer) {
+  RowVec out;
+  for (size_t i = 0; i < buffer.size(); ++i) {
+    out.emplace_back(buffer.row(i), buffer.row(i) + buffer.width());
+  }
+  return out;
+}
+
+/// Sorts a RowVec lexicographically by raw column values (test-side
+/// canonicalization for order-insensitive equality).
+inline void Canonicalize(RowVec* rows) { std::sort(rows->begin(), rows->end()); }
+
+/// Reference sort: rows of `input` in the schema's key order (stable).
+inline RowVec ReferenceSort(const Schema& schema, const RowBuffer& input) {
+  RowBuffer copy = input;
+  SortRowsForTest(schema, &copy);
+  return ToRowVec(copy);
+}
+
+/// Drains `op`, validating sortedness and codes with OvcStreamChecker when
+/// `check_codes`. Returns all rows.
+inline RowVec DrainValidated(Operator* op, bool check_codes = true) {
+  op->Open();
+  OvcStreamChecker checker(&op->schema());
+  RowVec out;
+  RowRef ref;
+  while (op->Next(&ref)) {
+    out.emplace_back(ref.cols, ref.cols + op->schema().total_columns());
+    if (check_codes) {
+      EXPECT_TRUE(checker.Observe(ref.cols, ref.ovc)) << checker.error();
+      if (!checker.ok()) break;  // avoid error spam
+    }
+  }
+  op->Close();
+  return out;
+}
+
+/// Makes a random table per the paper's data shape.
+inline RowBuffer MakeTable(const Schema& schema, uint64_t rows,
+                           uint64_t distinct, uint64_t seed,
+                           bool sorted = false) {
+  RowBuffer buffer(schema.total_columns());
+  GeneratorConfig config;
+  config.rows = rows;
+  config.distinct_per_column = distinct;
+  config.seed = seed;
+  config.sorted = sorted;
+  GenerateRows(schema, config, &buffer);
+  return buffer;
+}
+
+/// Builds a row for literal test fixtures.
+inline std::vector<uint64_t> Row(std::initializer_list<uint64_t> values) {
+  return std::vector<uint64_t>(values);
+}
+
+/// Appends literal rows to a buffer.
+inline void AppendRows(RowBuffer* buffer,
+                       std::initializer_list<std::vector<uint64_t>> rows) {
+  for (const auto& r : rows) {
+    OVC_CHECK(r.size() == buffer->width());
+    buffer->AppendRow(r.data());
+  }
+}
+
+}  // namespace ovc::testing
+
+#endif  // OVC_TESTS_TEST_UTIL_H_
