@@ -1,6 +1,8 @@
-// Quickstart: sort a table with offset-value codes, inspect the codes, and
-// run an in-stream aggregation that detects group boundaries with a single
-// integer test per row.
+// Quickstart: express "sort a table, then aggregate groups" as a logical
+// plan and let the order-property-aware planner pick the physical
+// operators. The sort materializes (the input is an unsorted buffer) and
+// produces offset-value codes; the aggregation then streams over it,
+// detecting group boundaries with a single integer test per row.
 //
 //   ./build/examples/quickstart
 
@@ -8,9 +10,8 @@
 
 #include "common/counters.h"
 #include "common/temp_file.h"
-#include "exec/aggregate.h"
-#include "exec/scan.h"
-#include "exec/sort_operator.h"
+#include "plan/logical_plan.h"
+#include "plan/plan_executor.h"
 #include "row/generator.h"
 
 using namespace ovc;
@@ -29,39 +30,39 @@ int main() {
   QueryCounters counters;
   TempFileManager temp;
 
-  // Sort: tree-of-losers run generation + merge; every output row carries
-  // its offset-value code relative to the previous row.
-  BufferScan scan(&schema, &table);
-  SortConfig sort_config;
-  sort_config.memory_rows = 1 << 16;  // forces spilling + merging
-  SortOperator sort(&scan, &counters, &temp, sort_config);
+  // Logical plan: scan -> sort -> group by the first two key columns.
+  auto logical = plan::PlanBuilder::Scan(
+                     plan::BufferSource("table", &schema, &table))
+                     .Sort()
+                     .Aggregate(/*group_prefix=*/2,
+                                {{AggFn::kCount, 0}, {AggFn::kSum, 4}})
+                     .Build();
 
-  // Group by the first two key columns; boundaries come from the codes.
-  InStreamAggregate agg(&sort, /*group_prefix=*/2,
-                        {{AggFn::kCount, 0}, {AggFn::kSum, 4}}, &counters);
+  // Physical planning: the sort materializes (forced to spill by the small
+  // memory budget) and the aggregation streams over its coded output.
+  plan::PlanExecutor::Options options;
+  options.planner.sort_config.memory_rows = 1 << 16;
+  plan::PlanExecutor executor(&counters, &temp, options);
 
-  agg.Open();
-  OvcCodec out_codec(&agg.schema());
-  RowRef ref;
-  uint64_t groups = 0;
-  std::printf("first groups (key0 key1 | count sum | code):\n");
-  while (agg.Next(&ref)) {
-    if (groups < 5) {
-      std::printf("  %3lu %3lu | %8lu %14lu | %s\n",
-                  static_cast<unsigned long>(ref.cols[0]),
-                  static_cast<unsigned long>(ref.cols[1]),
-                  static_cast<unsigned long>(ref.cols[2]),
-                  static_cast<unsigned long>(ref.cols[3]),
-                  out_codec.ToString(ref.ovc).c_str());
-    }
-    ++groups;
+  plan::ExecutionResult result = executor.Run(logical.get());
+  std::printf("physical plan:\n%s\n",
+              executor.last_plan()->ToString().c_str());
+
+  std::printf("first groups (key0 key1 | count sum):\n");
+  for (size_t i = 0; i < result.rows.size() && i < 5; ++i) {
+    const uint64_t* row = result.rows.row(i);
+    std::printf("  %3lu %3lu | %8lu %14lu\n",
+                static_cast<unsigned long>(row[0]),
+                static_cast<unsigned long>(row[1]),
+                static_cast<unsigned long>(row[2]),
+                static_cast<unsigned long>(row[3]));
   }
-  agg.Close();
 
   std::printf("\nrows sorted:          %lu\n",
               static_cast<unsigned long>(config.rows));
   std::printf("groups produced:      %lu\n",
-              static_cast<unsigned long>(groups));
+              static_cast<unsigned long>(result.row_count()));
+  std::printf("output order:         %s\n", result.order.ToString().c_str());
   std::printf("column comparisons:   %lu (N x K bound: %lu)\n",
               static_cast<unsigned long>(counters.column_comparisons),
               static_cast<unsigned long>(config.rows * schema.key_arity() *

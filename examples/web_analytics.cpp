@@ -2,11 +2,14 @@
 //
 //   select site, day, count(distinct visitor) from hits group by site, day
 //
-// executed as the two-step process Section 3 describes: a sort on
-// (site, day, visitor) detects duplicate rows "by offsets equal to the
-// column count", and the in-stream aggregation afterwards detects group
-// boundaries "by offsets smaller than the grouping key" -- both from
-// offset-value codes alone.
+// expressed as a logical plan -- distinct over (site, day, visitor), then
+// group by (site, day) -- and left to the order-property-aware planner.
+// The interesting-order pass notices that the aggregation wants its input
+// sorted on the grouping prefix, so the distinct below runs *in-sort*
+// (duplicates collapse during run generation and merging, "by offsets
+// equal to the column count") and the aggregation streams over the coded
+// result, detecting group boundaries "by offsets smaller than the grouping
+// key" -- with not a single standalone sort in the plan.
 //
 //   ./build/examples/web_analytics
 
@@ -15,10 +18,8 @@
 #include "common/counters.h"
 #include "common/rng.h"
 #include "common/temp_file.h"
-#include "exec/aggregate.h"
-#include "exec/dedup.h"
-#include "exec/scan.h"
-#include "exec/sort_operator.h"
+#include "plan/logical_plan.h"
+#include "plan/plan_executor.h"
 #include "row/row_buffer.h"
 
 using namespace ovc;
@@ -40,32 +41,37 @@ int main() {
   QueryCounters counters;
   TempFileManager temp;
 
-  BufferScan scan(&schema, &hits);
-  SortConfig config;
-  config.memory_rows = 1 << 17;
-  SortOperator sort(&scan, &counters, &temp, config);   // sort (site,day,visitor)
-  DedupOperator dedup(&sort);                           // offsets == arity
-  InStreamAggregate agg(&dedup, /*group_prefix=*/2,     // offsets < group key
-                        {{AggFn::kCount, 0}}, &counters);
+  auto logical = plan::PlanBuilder::Scan(
+                     plan::BufferSource("hits", &schema, &hits))
+                     .Distinct()                       // offsets == arity
+                     .Aggregate(/*group_prefix=*/2,    // offsets < group key
+                                {{AggFn::kCount, 0}})
+                     .Build();
 
-  agg.Open();
-  RowRef ref;
-  uint64_t groups = 0;
+  plan::PlanExecutor::Options options;
+  options.planner.sort_config.memory_rows = 1 << 17;
+  plan::PlanExecutor executor(&counters, &temp, options);
+
+  plan::ExecutionResult result = executor.Run(logical.get());
+  std::printf("physical plan:\n%s\n",
+              executor.last_plan()->ToString().c_str());
+
   uint64_t max_distinct = 0;
-  while (agg.Next(&ref)) {
-    ++groups;
-    if (ref.cols[2] > max_distinct) max_distinct = ref.cols[2];
+  for (size_t i = 0; i < result.rows.size(); ++i) {
+    const uint64_t* row = result.rows.row(i);
+    if (row[2] > max_distinct) max_distinct = row[2];
   }
-  agg.Close();
 
   std::printf("hits scanned:            %lu\n",
               static_cast<unsigned long>(kHits));
-  std::printf("duplicate hits removed:  %lu (detected by code offset alone)\n",
-              static_cast<unsigned long>(dedup.duplicates_dropped()));
   std::printf("(site, day) groups:      %lu\n",
-              static_cast<unsigned long>(groups));
+              static_cast<unsigned long>(result.row_count()));
   std::printf("max distinct visitors:   %lu\n",
               static_cast<unsigned long>(max_distinct));
+  std::printf("standalone sorts:        %lu (distinct folded into the sort)\n",
+              static_cast<unsigned long>(
+                  executor.last_plan()->inserted_sorts() +
+                  executor.last_plan()->explicit_sorts()));
   std::printf("column comparisons:      %lu\n",
               static_cast<unsigned long>(counters.column_comparisons));
   std::printf("code comparisons:        %lu\n",

@@ -53,6 +53,13 @@ class InStreamAggregate : public Operator {
                     std::vector<AggregateSpec> aggregates,
                     QueryCounters* counters, Options options = Options());
 
+  /// Output layout of grouping `in` on its first `group_prefix` key columns
+  /// with `num_aggregates` aggregate payload columns. Shared by every
+  /// aggregation strategy (in-stream, in-sort, hash), which is what lets
+  /// the planner swap one for another without changing the plan's schema.
+  static Schema MakeOutputSchema(const Schema& in, uint32_t group_prefix,
+                                 size_t num_aggregates);
+
   void Open() override;
   bool Next(RowRef* out) override;
   void Close() override { child_->Close(); }
@@ -64,9 +71,6 @@ class InStreamAggregate : public Operator {
   uint64_t groups() const { return groups_; }
 
  private:
-  static Schema MakeOutputSchema(const Schema& in, uint32_t group_prefix,
-                                 size_t num_aggregates);
-
   void InitGroup(const RowRef& ref);
   void Accumulate(const uint64_t* row);
   void EmitGroup(RowRef* out);

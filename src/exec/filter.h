@@ -18,14 +18,16 @@ namespace ovc {
 /// Row predicate: true keeps the row.
 using RowPredicate = std::function<bool(const uint64_t* row)>;
 
-/// Order- and code-preserving filter.
+/// Order- and code-preserving filter. Also accepts unsorted / code-free
+/// children (it then just passes rows through with code 0); the code
+/// derivation by the filter theorem only runs when the child carries codes.
 class FilterOperator : public Operator {
  public:
-  /// `child` must be sorted with codes and must outlive the filter.
+  /// `child` must outlive the filter.
   FilterOperator(Operator* child, RowPredicate predicate)
-      : child_(child), predicate_(std::move(predicate)) {
-    OVC_CHECK(child->sorted() && child->has_ovc());
-  }
+      : child_(child),
+        predicate_(std::move(predicate)),
+        derive_codes_(child->sorted() && child->has_ovc()) {}
 
   void Open() override {
     child_->Open();
@@ -37,23 +39,28 @@ class FilterOperator : public Operator {
     while (child_->Next(&ref)) {
       if (predicate_(ref.cols)) {
         out->cols = ref.cols;
-        out->ovc = acc_.Combine(ref.ovc);
-        acc_.Reset();
+        if (derive_codes_) {
+          out->ovc = acc_.Combine(ref.ovc);
+          acc_.Reset();
+        } else {
+          out->ovc = 0;
+        }
         return true;
       }
-      acc_.Absorb(ref.ovc);
+      if (derive_codes_) acc_.Absorb(ref.ovc);
     }
     return false;
   }
 
   void Close() override { child_->Close(); }
   const Schema& schema() const override { return child_->schema(); }
-  bool sorted() const override { return true; }
-  bool has_ovc() const override { return true; }
+  bool sorted() const override { return child_->sorted(); }
+  bool has_ovc() const override { return derive_codes_; }
 
  private:
   Operator* child_;
   RowPredicate predicate_;
+  bool derive_codes_;
   OvcAccumulator acc_;
 };
 

@@ -1,0 +1,49 @@
+// Limit: pass the first N rows through, then stop.
+//
+// Order and codes survive a limit untouched: each surviving row's code is
+// relative to its (also surviving) predecessor, and truncating the tail of
+// a stream cannot invalidate codes already emitted. Combined with a sort
+// this yields the planner's top-k plan shape.
+
+#ifndef OVC_EXEC_LIMIT_H_
+#define OVC_EXEC_LIMIT_H_
+
+#include <cstdint>
+
+#include "exec/operator.h"
+
+namespace ovc {
+
+/// Emits at most `limit` rows of its child.
+class LimitOperator : public Operator {
+ public:
+  /// `child` must outlive the operator.
+  LimitOperator(Operator* child, uint64_t limit)
+      : child_(child), limit_(limit) {}
+
+  void Open() override {
+    child_->Open();
+    emitted_ = 0;
+  }
+
+  bool Next(RowRef* out) override {
+    if (emitted_ >= limit_) return false;
+    if (!child_->Next(out)) return false;
+    ++emitted_;
+    return true;
+  }
+
+  void Close() override { child_->Close(); }
+  const Schema& schema() const override { return child_->schema(); }
+  bool sorted() const override { return child_->sorted(); }
+  bool has_ovc() const override { return child_->has_ovc(); }
+
+ private:
+  Operator* child_;
+  uint64_t limit_;
+  uint64_t emitted_ = 0;
+};
+
+}  // namespace ovc
+
+#endif  // OVC_EXEC_LIMIT_H_

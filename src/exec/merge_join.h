@@ -68,6 +68,11 @@ class MergeJoin : public Operator {
   MergeJoin(Operator* left, Operator* right, JoinType type,
             QueryCounters* counters);
 
+  /// Output layout of a merge join of `left` and `right` -- the canonical
+  /// join row layout the planner normalizes every physical join to.
+  static Schema MakeOutputSchema(const Schema& left, const Schema& right,
+                                 JoinType type);
+
   void Open() override;
   bool Next(RowRef* out) override;
   void Close() override;
@@ -77,9 +82,6 @@ class MergeJoin : public Operator {
 
  private:
   enum class State { kCompare, kCrossEmit, kRightGroupEmit, kDone };
-
-  static Schema MakeOutputSchema(const Schema& left, const Schema& right,
-                                 JoinType type);
 
   void AdvanceLeft();
   void AdvanceRight();

@@ -1,0 +1,318 @@
+#include "plan/logical_plan.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "exec/scan.h"
+#include "storage/btree.h"
+#include "storage/column_store.h"
+#include "storage/lsm.h"
+
+namespace ovc::plan {
+
+TableSource BufferSource(std::string name, const Schema* schema,
+                         const RowBuffer* buffer) {
+  OVC_CHECK(buffer->width() == schema->total_columns());
+  TableSource source;
+  source.name = std::move(name);
+  source.schema = schema;
+  source.order = OrderProperty::Unsorted();
+  source.factory = [schema, buffer] {
+    return std::make_unique<BufferScan>(schema, buffer);
+  };
+  return source;
+}
+
+TableSource RunSource(std::string name, const Schema* schema,
+                      const InMemoryRun* run) {
+  OVC_CHECK(run->width() == schema->total_columns());
+  TableSource source;
+  source.name = std::move(name);
+  source.schema = schema;
+  source.order = OrderProperty::Sorted(schema->key_arity(), /*ovc=*/true);
+  source.factory = [schema, run] {
+    return std::make_unique<RunScan>(schema, run);
+  };
+  return source;
+}
+
+TableSource BTreeSource(std::string name, const BTree* tree) {
+  TableSource source;
+  source.name = std::move(name);
+  source.schema = &tree->schema();
+  source.order =
+      OrderProperty::Sorted(tree->schema().key_arity(), /*ovc=*/true);
+  source.factory = [tree] { return tree->Scan(); };
+  return source;
+}
+
+TableSource ColumnStoreSource(std::string name, const RleColumnStore* store) {
+  TableSource source;
+  source.name = std::move(name);
+  source.schema = &store->schema();
+  source.order =
+      OrderProperty::Sorted(store->schema().key_arity(), /*ovc=*/true);
+  source.factory = [store] { return store->CreateScan(); };
+  return source;
+}
+
+TableSource LsmSource(std::string name, LsmForest* forest) {
+  TableSource source;
+  source.name = std::move(name);
+  source.schema = &forest->schema();
+  source.order =
+      OrderProperty::Sorted(forest->schema().key_arity(), /*ovc=*/true);
+  source.factory = [forest] { return forest->ScanAll(); };
+  return source;
+}
+
+const char* LogicalOpName(LogicalOp op) {
+  switch (op) {
+    case LogicalOp::kScan:
+      return "scan";
+    case LogicalOp::kFilter:
+      return "filter";
+    case LogicalOp::kProject:
+      return "project";
+    case LogicalOp::kJoin:
+      return "join";
+    case LogicalOp::kAggregate:
+      return "aggregate";
+    case LogicalOp::kDistinct:
+      return "distinct";
+    case LogicalOp::kSetOp:
+      return "setop";
+    case LogicalOp::kSort:
+      return "sort";
+    case LogicalOp::kTopK:
+      return "topk";
+  }
+  return "unknown";
+}
+
+PlanBuilder PlanBuilder::Scan(TableSource source) {
+  OVC_CHECK(source.schema != nullptr);
+  OVC_CHECK(source.factory != nullptr);
+  auto node = std::make_unique<LogicalNode>(LogicalOp::kScan, *source.schema);
+  node->source = std::move(source);
+  return PlanBuilder(std::move(node));
+}
+
+PlanBuilder& PlanBuilder::Filter(RowPredicate predicate) {
+  OVC_CHECK(root_ != nullptr);
+  OVC_CHECK(predicate != nullptr);
+  auto node = std::make_unique<LogicalNode>(LogicalOp::kFilter, root_->schema);
+  node->predicate = std::move(predicate);
+  node->children.push_back(std::move(root_));
+  root_ = std::move(node);
+  return *this;
+}
+
+PlanBuilder& PlanBuilder::Project(Schema output_schema,
+                                  std::vector<uint32_t> mapping) {
+  OVC_CHECK(root_ != nullptr);
+  OVC_CHECK(mapping.size() == output_schema.total_columns());
+  for (uint32_t m : mapping) {
+    OVC_CHECK(m < root_->schema.total_columns());
+  }
+  auto node = std::make_unique<LogicalNode>(LogicalOp::kProject,
+                                            std::move(output_schema));
+  node->mapping = std::move(mapping);
+  node->children.push_back(std::move(root_));
+  root_ = std::move(node);
+  return *this;
+}
+
+PlanBuilder& PlanBuilder::Join(PlanBuilder right, JoinType type) {
+  OVC_CHECK(root_ != nullptr);
+  OVC_CHECK(right.root_ != nullptr);
+  const Schema& ls = root_->schema;
+  const Schema& rs = right.root_->schema;
+  // The join key is the shared key prefix of both inputs: arities and
+  // directions must agree (the contract of MergeJoin).
+  OVC_CHECK(ls.key_arity() == rs.key_arity());
+  for (uint32_t c = 0; c < ls.key_arity(); ++c) {
+    OVC_CHECK(ls.direction(c) == rs.direction(c));
+  }
+  auto node = std::make_unique<LogicalNode>(
+      LogicalOp::kJoin, MergeJoin::MakeOutputSchema(ls, rs, type));
+  node->join_type = type;
+  node->children.push_back(std::move(root_));
+  node->children.push_back(std::move(right.root_));
+  root_ = std::move(node);
+  return *this;
+}
+
+PlanBuilder& PlanBuilder::Aggregate(uint32_t group_prefix,
+                                    std::vector<AggregateSpec> aggregates) {
+  OVC_CHECK(root_ != nullptr);
+  OVC_CHECK(group_prefix >= 1);
+  OVC_CHECK(group_prefix <= root_->schema.key_arity());
+  for (const AggregateSpec& spec : aggregates) {
+    OVC_CHECK(spec.fn == AggFn::kCount ||
+              spec.input_col < root_->schema.total_columns());
+  }
+  auto node = std::make_unique<LogicalNode>(
+      LogicalOp::kAggregate,
+      InStreamAggregate::MakeOutputSchema(root_->schema, group_prefix,
+                                          aggregates.size()));
+  node->group_prefix = group_prefix;
+  node->aggregates = std::move(aggregates);
+  node->children.push_back(std::move(root_));
+  root_ = std::move(node);
+  return *this;
+}
+
+PlanBuilder& PlanBuilder::Distinct() {
+  OVC_CHECK(root_ != nullptr);
+  auto node =
+      std::make_unique<LogicalNode>(LogicalOp::kDistinct, root_->schema);
+  node->children.push_back(std::move(root_));
+  root_ = std::move(node);
+  return *this;
+}
+
+PlanBuilder& PlanBuilder::SetOp(PlanBuilder right, SetOpType type, bool all) {
+  OVC_CHECK(root_ != nullptr);
+  OVC_CHECK(right.root_ != nullptr);
+  OVC_CHECK(root_->schema == right.root_->schema);
+  OVC_CHECK(root_->schema.payload_columns() == 0);
+  auto node = std::make_unique<LogicalNode>(LogicalOp::kSetOp, root_->schema);
+  node->set_op = type;
+  node->set_all = all;
+  node->children.push_back(std::move(root_));
+  node->children.push_back(std::move(right.root_));
+  root_ = std::move(node);
+  return *this;
+}
+
+PlanBuilder& PlanBuilder::Sort() {
+  OVC_CHECK(root_ != nullptr);
+  auto node = std::make_unique<LogicalNode>(LogicalOp::kSort, root_->schema);
+  node->children.push_back(std::move(root_));
+  root_ = std::move(node);
+  return *this;
+}
+
+PlanBuilder& PlanBuilder::TopK(uint64_t k) {
+  OVC_CHECK(root_ != nullptr);
+  OVC_CHECK(k >= 1);
+  auto node = std::make_unique<LogicalNode>(LogicalOp::kTopK, root_->schema);
+  node->limit = k;
+  node->children.push_back(std::move(root_));
+  root_ = std::move(node);
+  return *this;
+}
+
+std::unique_ptr<LogicalNode> PlanBuilder::Build() {
+  OVC_CHECK(root_ != nullptr);
+  return std::move(root_);
+}
+
+namespace {
+
+void InferRequirementsRecursive(LogicalNode* node,
+                                const OrderRequirement& from_parent) {
+  node->required = from_parent;
+  switch (node->op) {
+    case LogicalOp::kScan:
+      break;
+    case LogicalOp::kFilter:
+      // Order-transparent: whatever the parent wants of this node, the
+      // node wants of its child (the filter preserves order and codes).
+      InferRequirementsRecursive(node->children[0].get(), from_parent);
+      break;
+    case LogicalOp::kProject: {
+      // A projection can only preserve order the child provides on the key
+      // prefix the mapping keeps in place; pass the parent's wish through
+      // clamped to the child's arity.
+      OrderRequirement down = from_parent;
+      down.prefix =
+          std::min(down.prefix, node->children[0]->schema.key_arity());
+      InferRequirementsRecursive(node->children[0].get(), down);
+      break;
+    }
+    case LogicalOp::kJoin: {
+      // Merge join consumes order and codes on the full join key of both
+      // inputs -- the classic "interesting order".
+      const uint32_t key = node->children[0]->schema.key_arity();
+      InferRequirementsRecursive(node->children[0].get(),
+                                 OrderRequirement::Codes(key));
+      InferRequirementsRecursive(node->children[1].get(),
+                                 OrderRequirement::Codes(key));
+      break;
+    }
+    case LogicalOp::kAggregate:
+      // In-stream aggregation consumes order on the grouping prefix; codes
+      // make the boundary test a single integer comparison (Section 4.5).
+      InferRequirementsRecursive(node->children[0].get(),
+                                 OrderRequirement::Codes(node->group_prefix));
+      break;
+    case LogicalOp::kDistinct:
+      // Code-only duplicate detection needs the full key (Section 4.4).
+      InferRequirementsRecursive(
+          node->children[0].get(),
+          OrderRequirement::Codes(node->children[0]->schema.key_arity()));
+      break;
+    case LogicalOp::kSetOp:
+      for (auto& child : node->children) {
+        InferRequirementsRecursive(
+            child.get(), OrderRequirement::Codes(child->schema.key_arity()));
+      }
+      break;
+    case LogicalOp::kSort:
+    case LogicalOp::kTopK:
+      // A sort (or the sort inside top-k) is *elided* when its input
+      // already arrives fully sorted with codes -- so that is exactly the
+      // order a child below should find interesting.
+      InferRequirementsRecursive(
+          node->children[0].get(),
+          OrderRequirement::Codes(node->children[0]->schema.key_arity()));
+      break;
+  }
+}
+
+void AppendNode(const LogicalNode& node, int depth, std::string* out) {
+  out->append(static_cast<size_t>(depth) * 2, ' ');
+  *out += LogicalOpName(node.op);
+  switch (node.op) {
+    case LogicalOp::kScan:
+      *out += "(" + node.source.name + ", " + node.source.order.ToString() +
+              ")";
+      break;
+    case LogicalOp::kJoin:
+      *out += std::string("(") + JoinTypeName(node.join_type) + ")";
+      break;
+    case LogicalOp::kAggregate:
+      *out += "(group=" + std::to_string(node.group_prefix) +
+              ", aggs=" + std::to_string(node.aggregates.size()) + ")";
+      break;
+    case LogicalOp::kTopK:
+      *out += "(k=" + std::to_string(node.limit) + ")";
+      break;
+    default:
+      break;
+  }
+  *out += " [" + node.schema.ToString();
+  if (node.required.interested()) {
+    *out += ", wants " + node.required.ToString();
+  }
+  *out += "]\n";
+  for (const auto& child : node.children) {
+    AppendNode(*child, depth + 1, out);
+  }
+}
+
+}  // namespace
+
+void InferOrderRequirements(LogicalNode* root) {
+  InferRequirementsRecursive(root, OrderRequirement::None());
+}
+
+std::string LogicalPlanToString(const LogicalNode& root) {
+  std::string out;
+  AppendNode(root, 0, &out);
+  return out;
+}
+
+}  // namespace ovc::plan

@@ -1,0 +1,186 @@
+// Logical query plans and the PlanBuilder front door.
+//
+// A logical plan describes *what* a query computes: a tree of relational
+// operations over leaf table sources. It says nothing about physical
+// algorithms -- whether a join runs as merge join or hash join, whether an
+// aggregation streams over sorted input, folds into a sort, or hashes, and
+// where explicit sorts go, are all decisions of the physical planner
+// (plan/physical_plan.h), driven by the order properties inferred here.
+//
+// Leaf sources declare their order properties up front: a plain buffer is
+// unsorted, while scans over sorted storage (in-memory runs, the B-tree,
+// the RLE column store, the LSM forest) deliver rows *with offset-value
+// codes* at zero comparison cost (Section 4.11) -- the planner's highest-
+// value input.
+
+#ifndef OVC_PLAN_LOGICAL_PLAN_H_
+#define OVC_PLAN_LOGICAL_PLAN_H_
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "exec/aggregate.h"
+#include "exec/filter.h"
+#include "exec/merge_join.h"
+#include "exec/operator.h"
+#include "exec/set_operation.h"
+#include "plan/order_property.h"
+#include "row/row_buffer.h"
+#include "row/schema.h"
+#include "sort/run.h"
+
+namespace ovc {
+class BTree;
+class RleColumnStore;
+class LsmForest;
+}  // namespace ovc
+
+namespace ovc::plan {
+
+/// A leaf table: how to create a scan over it, its row layout, and the
+/// order property the scan guarantees. The referenced storage must outlive
+/// every plan and execution that uses the source.
+struct TableSource {
+  std::string name;
+  const Schema* schema = nullptr;
+  OrderProperty order;
+  /// Creates a fresh scan operator (called once per physical plan).
+  std::function<std::unique_ptr<Operator>()> factory;
+};
+
+/// Unsorted scan over a RowBuffer.
+TableSource BufferSource(std::string name, const Schema* schema,
+                         const RowBuffer* buffer);
+/// Sorted, coded scan over an in-memory run (zero comparison cost).
+TableSource RunSource(std::string name, const Schema* schema,
+                      const InMemoryRun* run);
+/// Sorted, coded scan over a B-tree (codes straight from the leaves).
+TableSource BTreeSource(std::string name, const BTree* tree);
+/// Sorted, coded scan over the RLE column store (codes from RLE segment
+/// arithmetic alone).
+TableSource ColumnStoreSource(std::string name, const RleColumnStore* store);
+/// Sorted, coded scan over an LSM forest (merges runs + memtable on the
+/// fly; flushes the memtable when the scan is created).
+TableSource LsmSource(std::string name, LsmForest* forest);
+
+/// Logical operations.
+enum class LogicalOp : uint8_t {
+  kScan,
+  kFilter,
+  kProject,
+  kJoin,
+  kAggregate,
+  kDistinct,
+  kSetOp,
+  kSort,
+  kTopK,
+};
+
+/// Short lowercase name, e.g. "aggregate".
+const char* LogicalOpName(LogicalOp op);
+
+/// One node of a logical plan tree. Fields beyond `op` / `children` /
+/// `schema` are meaningful only for the matching LogicalOp.
+struct LogicalNode {
+  LogicalNode(LogicalOp op_in, Schema schema_in)
+      : op(op_in), schema(std::move(schema_in)) {}
+
+  LogicalOp op;
+  std::vector<std::unique_ptr<LogicalNode>> children;
+  /// Output row layout (computed when the node is built).
+  Schema schema;
+
+  // --- per-operation payload ---
+  TableSource source;                    // kScan
+  RowPredicate predicate;                // kFilter
+  std::vector<uint32_t> mapping;         // kProject
+  JoinType join_type = JoinType::kInner; // kJoin (key = children's key prefix)
+  uint32_t group_prefix = 0;             // kAggregate
+  std::vector<AggregateSpec> aggregates; // kAggregate
+  SetOpType set_op = SetOpType::kUnion;  // kSetOp
+  bool set_all = false;                  // kSetOp
+  uint64_t limit = 0;                    // kTopK
+
+  // --- analysis annotations (filled by the planner passes) ---
+  /// Interesting order: what this node's parent could exploit.
+  OrderRequirement required = OrderRequirement::None();
+};
+
+/// Fluent builder for logical plans. Each call wraps the current tree in a
+/// new root; binary operations consume a second builder. Builders are
+/// move-only (they own the tree under construction).
+///
+///   auto plan = PlanBuilder::Scan(BufferSource("hits", &schema, &rows))
+///                   .Sort()
+///                   .Aggregate(2, {{AggFn::kCount, 0}})
+///                   .Build();
+class PlanBuilder {
+ public:
+  /// Starts a plan at a leaf source.
+  static PlanBuilder Scan(TableSource source);
+
+  /// Keeps rows satisfying `predicate` (order- and code-preserving).
+  PlanBuilder& Filter(RowPredicate predicate);
+
+  /// Projects to `output_schema`; output column i takes input column
+  /// `mapping[i]`. Order survives when the mapping keeps a key prefix in
+  /// place (Section 4.2).
+  PlanBuilder& Project(Schema output_schema, std::vector<uint32_t> mapping);
+
+  /// Joins with `right` on the full key prefix of both inputs (their key
+  /// arities and directions must match). Output: the canonical merge-join
+  /// layout -- join key, left payloads, right payloads, match indicator --
+  /// regardless of the physical algorithm chosen later.
+  PlanBuilder& Join(PlanBuilder right, JoinType type);
+
+  /// Groups on the first `group_prefix` key columns; one output payload
+  /// column per aggregate.
+  PlanBuilder& Aggregate(uint32_t group_prefix,
+                         std::vector<AggregateSpec> aggregates);
+
+  /// Removes full-key duplicate rows.
+  PlanBuilder& Distinct();
+
+  /// SQL set operation against `right` (schemas must match and be
+  /// payload-free). `all` selects multiset semantics.
+  PlanBuilder& SetOp(PlanBuilder right, SetOpType type, bool all);
+
+  /// Requests the stream sorted on its full key with offset-value codes.
+  /// The physical planner elides it when the input already delivers both.
+  PlanBuilder& Sort();
+
+  /// First `k` rows in full-key sort order.
+  PlanBuilder& TopK(uint64_t k);
+
+  /// Releases the finished logical tree. The builder is empty afterwards.
+  std::unique_ptr<LogicalNode> Build();
+
+  /// Peek at the tree under construction (e.g. for its schema).
+  const LogicalNode& root() const {
+    OVC_CHECK(root_ != nullptr);
+    return *root_;
+  }
+
+ private:
+  explicit PlanBuilder(std::unique_ptr<LogicalNode> root)
+      : root_(std::move(root)) {}
+
+  std::unique_ptr<LogicalNode> root_;
+};
+
+/// Top-down "interesting orders" pass: annotates every node's `required`
+/// field with the order its parent could exploit (join keys for joins,
+/// grouping prefixes for aggregations, full keys for distinct / set
+/// operations / sorts). The physical planner consults these annotations
+/// when choosing between order-producing and hash-based algorithms.
+void InferOrderRequirements(LogicalNode* root);
+
+/// Multi-line indented rendering of the logical tree with schemas and
+/// interesting-order annotations.
+std::string LogicalPlanToString(const LogicalNode& root);
+
+}  // namespace ovc::plan
+
+#endif  // OVC_PLAN_LOGICAL_PLAN_H_

@@ -1,0 +1,629 @@
+#include "plan/physical_plan.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "exec/dedup.h"
+#include "exec/hash_aggregate.h"
+#include "exec/hash_join.h"
+#include "exec/in_sort_aggregate.h"
+#include "exec/limit.h"
+#include "exec/project.h"
+#include "exec/sort_operator.h"
+
+namespace ovc::plan {
+
+const char* PhysicalAlgName(PhysicalAlg alg) {
+  switch (alg) {
+    case PhysicalAlg::kScan:
+      return "scan";
+    case PhysicalAlg::kFilter:
+      return "filter";
+    case PhysicalAlg::kProject:
+      return "project";
+    case PhysicalAlg::kMergeJoin:
+      return "merge-join";
+    case PhysicalAlg::kOrderPreservingHashJoin:
+      return "hash-join(order-preserving)";
+    case PhysicalAlg::kGraceHashJoin:
+      return "hash-join(grace)";
+    case PhysicalAlg::kInStreamAggregate:
+      return "in-stream-aggregate";
+    case PhysicalAlg::kInSortAggregate:
+      return "in-sort-aggregate";
+    case PhysicalAlg::kHashAggregate:
+      return "hash-aggregate";
+    case PhysicalAlg::kDedup:
+      return "dedup";
+    case PhysicalAlg::kInSortDistinct:
+      return "in-sort-distinct";
+    case PhysicalAlg::kHashDistinct:
+      return "hash-distinct";
+    case PhysicalAlg::kSetOperation:
+      return "set-operation";
+    case PhysicalAlg::kSort:
+      return "sort";
+    case PhysicalAlg::kElidedSort:
+      return "elided-sort";
+    case PhysicalAlg::kLimit:
+      return "limit";
+  }
+  return "unknown";
+}
+
+bool PhysicalPlan::Uses(PhysicalAlg alg) const {
+  return std::find(algorithms_.begin(), algorithms_.end(), alg) !=
+         algorithms_.end();
+}
+
+namespace {
+
+/// True when `prop` delivers the stream fully sorted (on every key column
+/// of `schema`) together with valid codes -- the runtime precondition of
+/// every code-consuming operator.
+bool SortedWithCodesOn(const OrderProperty& prop, const Schema& schema) {
+  return prop.SortedWithCodes(schema.key_arity());
+}
+
+/// Property a SortOperator configured with `config` delivers.
+OrderProperty SortOutput(const Schema& schema, const SortConfig& config) {
+  return OrderProperty::Sorted(schema.key_arity(),
+                               config.use_ovc || config.naive_output_codes);
+}
+
+// ---------------------------------------------------------------------------
+// Pure decision rules, shared by the instantiating planner and the pure
+// inference entry point so the two can never disagree.
+// ---------------------------------------------------------------------------
+
+struct JoinDecision {
+  PhysicalAlg alg;
+  bool sort_left = false;
+  bool sort_right = false;
+  /// True when the physical output layout must be projected back to the
+  /// canonical merge-join layout.
+  bool normalize = false;
+  OrderProperty out;
+};
+
+bool HashSupports(JoinType type) {
+  return type == JoinType::kInner || type == JoinType::kLeftOuter ||
+         type == JoinType::kLeftSemi || type == JoinType::kLeftAnti;
+}
+
+JoinTypeHash ToHashType(JoinType type) {
+  switch (type) {
+    case JoinType::kInner:
+      return JoinTypeHash::kInner;
+    case JoinType::kLeftOuter:
+      return JoinTypeHash::kLeftOuter;
+    case JoinType::kLeftSemi:
+      return JoinTypeHash::kLeftSemi;
+    case JoinType::kLeftAnti:
+      return JoinTypeHash::kLeftAnti;
+    default:
+      OVC_CHECK(false);
+  }
+  return JoinTypeHash::kInner;
+}
+
+JoinDecision DecideJoin(const LogicalNode& node, const OrderProperty& left,
+                        const OrderProperty& right,
+                        const PlannerOptions& options) {
+  const Schema& ls = node.children[0]->schema;
+  const Schema& rs = node.children[1]->schema;
+  const bool l_ok = SortedWithCodesOn(left, ls);
+  const bool r_ok = SortedWithCodesOn(right, rs);
+  const JoinType type = node.join_type;
+  const bool combines = type != JoinType::kLeftSemi &&
+                        type != JoinType::kLeftAnti &&
+                        type != JoinType::kRightSemi &&
+                        type != JoinType::kRightAnti;
+
+  JoinDecision d;
+  d.out = OrderProperty::Sorted(node.schema.key_arity(), /*ovc=*/true);
+  if (l_ok && r_ok) {
+    // Both inputs arrive sorted with codes: the merge join both exploits
+    // and reproduces them (Section 4.7). Nothing to add.
+    d.alg = PhysicalAlg::kMergeJoin;
+    return d;
+  }
+  if (!options.prefer_sort_based && HashSupports(type)) {
+    if (l_ok && options.assume_build_fits_memory) {
+      // Probe side ordered and coded: the in-memory hash join preserves
+      // both (Section 4.9), at the price of a resident build side. Only
+      // when the caller vouches for the build fitting in memory -- the
+      // operator aborts past its budget, so the robust default below
+      // sorts the build side and merge joins instead.
+      d.alg = PhysicalAlg::kOrderPreservingHashJoin;
+      d.normalize = combines;
+      return d;
+    }
+    if (!l_ok && (type == JoinType::kInner || type == JoinType::kLeftSemi)) {
+      // No order anywhere: grace hash join. An order-interested parent is
+      // deliberately NOT honored here -- it is cheaper to let the parent
+      // absorb the disorder with an order-producing operator over the join
+      // *output* (in-sort aggregation/distinct, Figure 5's early-
+      // aggregation shape) than to sort both join *inputs*; revisiting
+      // this per cardinality is the ROADMAP's cost-model item.
+      d.alg = PhysicalAlg::kGraceHashJoin;
+      d.normalize = combines;
+      d.out = OrderProperty::Unsorted();
+      return d;
+    }
+  }
+  // Sort-based fallback: insert sorts exactly where order or codes are
+  // missing, then merge join. This also serves a sorted probe over an
+  // unsorted build when assume_build_fits_memory is off: only the build
+  // side is sorted, the probe's order and codes are reused as-is, and
+  // everything spills gracefully.
+  d.alg = PhysicalAlg::kMergeJoin;
+  d.sort_left = !l_ok;
+  d.sort_right = !r_ok;
+  return d;
+}
+
+struct UnaryDecision {
+  PhysicalAlg alg;
+  bool sort_child = false;
+  OrderProperty out;
+};
+
+UnaryDecision DecideAggregate(const LogicalNode& node,
+                              const OrderProperty& child,
+                              const PlannerOptions& options) {
+  UnaryDecision d;
+  if (child.SortedOn(node.group_prefix)) {
+    // Sorted input: group boundaries are one integer test per row when
+    // codes are present, column comparisons otherwise (Figure 4's two
+    // sides).
+    d.alg = PhysicalAlg::kInStreamAggregate;
+    d.out = OrderProperty::Sorted(node.group_prefix, child.has_ovc);
+    return d;
+  }
+  if (node.required.interested() || options.prefer_sort_based) {
+    // The parent can exploit order (or sort-based planning is forced):
+    // aggregate inside the sort, collapsing duplicates at every stage
+    // (Figure 5's sort-based plan).
+    d.alg = PhysicalAlg::kInSortAggregate;
+    d.out = OrderProperty::Sorted(node.schema.key_arity(), /*ovc=*/true);
+    return d;
+  }
+  d.alg = PhysicalAlg::kHashAggregate;
+  d.out = OrderProperty::Unsorted();
+  return d;
+}
+
+UnaryDecision DecideDistinct(const LogicalNode& node,
+                             const OrderProperty& child,
+                             const PlannerOptions& options) {
+  const Schema& schema = node.schema;
+  UnaryDecision d;
+  if (SortedWithCodesOn(child, schema)) {
+    // Duplicates are rows whose code offset equals the arity: removal
+    // without looking at a single column value (Section 4.4).
+    d.alg = PhysicalAlg::kDedup;
+    d.out = child;
+    return d;
+  }
+  const bool keeps_payloads = schema.payload_columns() > 0;
+  if (!keeps_payloads && !options.prefer_sort_based &&
+      !node.required.interested()) {
+    d.alg = PhysicalAlg::kHashDistinct;
+    d.out = OrderProperty::Unsorted();
+    return d;
+  }
+  if (!keeps_payloads) {
+    // Key-only distinct folds into the sort itself: each run spills at
+    // most one copy per key.
+    d.alg = PhysicalAlg::kInSortDistinct;
+    d.out = OrderProperty::Sorted(schema.key_arity(), /*ovc=*/true);
+    return d;
+  }
+  // DISTINCT that carries payload columns keeps the first surviving row
+  // per key; that is inherently order-based here: sort, then code-only
+  // duplicate removal.
+  d.alg = PhysicalAlg::kDedup;
+  d.sort_child = true;
+  d.out = OrderProperty::Sorted(schema.key_arity(), /*ovc=*/true);
+  return d;
+}
+
+UnaryDecision DecideSort(const LogicalNode& node, const OrderProperty& child,
+                         const PlannerOptions& options) {
+  UnaryDecision d;
+  if (SortedWithCodesOn(child, node.schema)) {
+    // The planner's key property payoff: input already sorted and coded
+    // means the sort disappears entirely.
+    d.alg = PhysicalAlg::kElidedSort;
+    d.out = child;
+    return d;
+  }
+  d.alg = PhysicalAlg::kSort;
+  d.out = SortOutput(node.schema, options.sort_config);
+  return d;
+}
+
+UnaryDecision DecideTopK(const LogicalNode& node, const OrderProperty& child,
+                         const PlannerOptions& options) {
+  UnaryDecision d;
+  d.alg = PhysicalAlg::kLimit;
+  if (SortedWithCodesOn(child, node.schema)) {
+    d.out = child;
+  } else {
+    d.sort_child = true;
+    d.out = SortOutput(node.schema, options.sort_config);
+  }
+  return d;
+}
+
+/// Mirrors ProjectOperator's order-preservation rule: the output key
+/// columns must be exactly the leading input key columns with matching
+/// directions, and the input must be sorted with codes.
+OrderProperty ProjectOutput(const LogicalNode& node,
+                            const OrderProperty& child) {
+  const Schema& in = node.children[0]->schema;
+  const Schema& out = node.schema;
+  if (!SortedWithCodesOn(child, in) || out.key_arity() > in.key_arity()) {
+    return OrderProperty::Unsorted();
+  }
+  for (uint32_t i = 0; i < out.key_arity(); ++i) {
+    if (node.mapping[i] != i || out.direction(i) != in.direction(i)) {
+      return OrderProperty::Unsorted();
+    }
+  }
+  return OrderProperty::Sorted(out.key_arity(), /*ovc=*/true);
+}
+
+OrderProperty FilterOutput(const OrderProperty& child) {
+  // FilterOperator passes order through and re-derives codes by the filter
+  // theorem when the child carries them.
+  return OrderProperty::Sorted(child.sorted_prefix,
+                               child.sorted() && child.has_ovc);
+}
+
+std::string IndentBlock(const std::string& block) {
+  std::string out;
+  out.reserve(block.size() + 32);
+  size_t start = 0;
+  while (start < block.size()) {
+    size_t end = block.find('\n', start);
+    if (end == std::string::npos) end = block.size() - 1;
+    out += "  ";
+    out.append(block, start, end - start + 1);
+    start = end + 1;
+  }
+  return out;
+}
+
+std::string ExplainLine(PhysicalAlg alg, const OrderProperty& prop,
+                        const std::string& detail) {
+  std::string line = PhysicalAlgName(alg);
+  if (!detail.empty()) line += "(" + detail + ")";
+  line += " [" + prop.ToString() + "]\n";
+  return line;
+}
+
+}  // namespace
+
+OrderProperty InferOrderProperty(const LogicalNode& node,
+                                 const PlannerOptions& options) {
+  switch (node.op) {
+    case LogicalOp::kScan:
+      return node.source.order;
+    case LogicalOp::kFilter:
+      return FilterOutput(InferOrderProperty(*node.children[0], options));
+    case LogicalOp::kProject:
+      return ProjectOutput(node,
+                           InferOrderProperty(*node.children[0], options));
+    case LogicalOp::kJoin:
+      return DecideJoin(node, InferOrderProperty(*node.children[0], options),
+                        InferOrderProperty(*node.children[1], options),
+                        options)
+          .out;
+    case LogicalOp::kAggregate:
+      return DecideAggregate(
+                 node, InferOrderProperty(*node.children[0], options), options)
+          .out;
+    case LogicalOp::kDistinct:
+      return DecideDistinct(
+                 node, InferOrderProperty(*node.children[0], options), options)
+          .out;
+    case LogicalOp::kSetOp:
+      return OrderProperty::Sorted(node.schema.key_arity(), /*ovc=*/true);
+    case LogicalOp::kSort:
+      return DecideSort(node, InferOrderProperty(*node.children[0], options),
+                        options)
+          .out;
+    case LogicalOp::kTopK:
+      return DecideTopK(node, InferOrderProperty(*node.children[0], options),
+                        options)
+          .out;
+  }
+  return OrderProperty::Unsorted();
+}
+
+Planner::Planner(QueryCounters* counters, TempFileManager* temp,
+                 PlannerOptions options)
+    : counters_(counters), temp_(temp), options_(std::move(options)) {}
+
+PhysicalPlan Planner::Plan(LogicalNode* root) {
+  InferOrderRequirements(root);
+  PhysicalPlan plan;
+  Built built = BuildNode(root, &plan, 0);
+  plan.root_ = built.op;
+  plan.root_order_ = built.prop;
+  // The operator contract (exec/operator.h) must agree with what the
+  // decision rules predicted; a mismatch is a planner bug.
+  OVC_DCHECK(built.op->sorted() == built.prop.sorted());
+  OVC_DCHECK(built.op->has_ovc() == built.prop.has_ovc);
+  return plan;
+}
+
+Planner::Built Planner::InsertSort(Built child, PhysicalPlan* plan,
+                                   int depth) {
+  (void)depth;
+  // Planner-inserted sorts always feed code-consuming operators (merge
+  // join, dedup, set operation), so the configured sort must deliver
+  // codes; catch a code-free ablation config here, at plan time, instead
+  // of deep inside a downstream operator's precondition check.
+  OVC_CHECK(options_.sort_config.use_ovc ||
+            options_.sort_config.naive_output_codes);
+  auto sort = std::make_unique<SortOperator>(child.op, counters_, temp_,
+                                             options_.sort_config);
+  Built built;
+  built.prop = SortOutput(child.op->schema(), options_.sort_config);
+  built.op = plan->Own(std::move(sort));
+  built.explain = std::move(child.explain);
+  ++plan->inserted_sorts_;
+  plan->algorithms_.push_back(PhysicalAlg::kSort);
+  return built;
+}
+
+Planner::Built Planner::BuildNode(LogicalNode* node, PhysicalPlan* plan,
+                                  int depth) {
+  Built result;
+  std::string explain;
+
+  switch (node->op) {
+    case LogicalOp::kScan: {
+      result.op = plan->Own(node->source.factory());
+      result.prop = node->source.order;
+      plan->algorithms_.push_back(PhysicalAlg::kScan);
+      explain = ExplainLine(PhysicalAlg::kScan, result.prop,
+                            node->source.name);
+      break;
+    }
+
+    case LogicalOp::kFilter: {
+      Built child = BuildNode(node->children[0].get(), plan, depth + 1);
+      result.op =
+          plan->Own(std::make_unique<FilterOperator>(child.op,
+                                                     node->predicate));
+      result.prop = FilterOutput(child.prop);
+      plan->algorithms_.push_back(PhysicalAlg::kFilter);
+      explain = ExplainLine(PhysicalAlg::kFilter, result.prop, "") +
+                IndentBlock(child.explain);
+      break;
+    }
+
+    case LogicalOp::kProject: {
+      Built child = BuildNode(node->children[0].get(), plan, depth + 1);
+      result.op = plan->Own(std::make_unique<ProjectOperator>(
+          child.op, node->schema, node->mapping));
+      result.prop = ProjectOutput(*node, child.prop);
+      plan->algorithms_.push_back(PhysicalAlg::kProject);
+      explain = ExplainLine(PhysicalAlg::kProject, result.prop, "") +
+                IndentBlock(child.explain);
+      break;
+    }
+
+    case LogicalOp::kJoin: {
+      Built left = BuildNode(node->children[0].get(), plan, depth + 1);
+      Built right = BuildNode(node->children[1].get(), plan, depth + 1);
+      JoinDecision d = DecideJoin(*node, left.prop, right.prop, options_);
+      if (d.sort_left) {
+        left.explain = ExplainLine(PhysicalAlg::kSort, SortOutput(
+            node->children[0]->schema, options_.sort_config), "inserted") +
+            IndentBlock(left.explain);
+        left = InsertSort(left, plan, depth + 1);
+      }
+      if (d.sort_right) {
+        right.explain = ExplainLine(PhysicalAlg::kSort, SortOutput(
+            node->children[1]->schema, options_.sort_config), "inserted") +
+            IndentBlock(right.explain);
+        right = InsertSort(right, plan, depth + 1);
+      }
+      Operator* join = nullptr;
+      switch (d.alg) {
+        case PhysicalAlg::kMergeJoin:
+          join = plan->Own(std::make_unique<MergeJoin>(
+              left.op, right.op, node->join_type, counters_));
+          break;
+        case PhysicalAlg::kOrderPreservingHashJoin:
+          join = plan->Own(std::make_unique<OrderPreservingHashJoin>(
+              left.op, right.op, node->children[0]->schema.key_arity(),
+              ToHashType(node->join_type), options_.hash_memory_rows,
+              counters_));
+          break;
+        case PhysicalAlg::kGraceHashJoin:
+          join = plan->Own(std::make_unique<GraceHashJoin>(
+              left.op, right.op, node->children[0]->schema.key_arity(),
+              ToHashType(node->join_type), options_.hash_memory_rows,
+              counters_, temp_, options_.hash_partitions));
+          break;
+        default:
+          OVC_CHECK(false);
+      }
+      if (d.normalize) {
+        // Hash joins lay rows out as (probe keys, probe payloads, all
+        // build columns, indicator); project back to the canonical merge
+        // layout (key, left payloads, right payloads, indicator) so every
+        // physical alternative yields identical rows.
+        const Schema& ls = node->children[0]->schema;
+        const Schema& rs = node->children[1]->schema;
+        const uint32_t key = ls.key_arity();
+        std::vector<uint32_t> mapping;
+        for (uint32_t c = 0; c < key + ls.payload_columns(); ++c) {
+          mapping.push_back(c);  // probe keys + probe payloads
+        }
+        const uint32_t build_base = key + ls.payload_columns();
+        for (uint32_t c = 0; c < rs.payload_columns(); ++c) {
+          mapping.push_back(build_base + key + c);  // build payloads
+        }
+        mapping.push_back(build_base + rs.total_columns());  // indicator
+        join = plan->Own(
+            std::make_unique<ProjectOperator>(join, node->schema, mapping));
+      }
+      result.op = join;
+      result.prop = d.out;
+      plan->algorithms_.push_back(d.alg);
+      explain = ExplainLine(d.alg, result.prop,
+                            JoinTypeName(node->join_type)) +
+                IndentBlock(left.explain) + IndentBlock(right.explain);
+      break;
+    }
+
+    case LogicalOp::kAggregate: {
+      Built child = BuildNode(node->children[0].get(), plan, depth + 1);
+      UnaryDecision d = DecideAggregate(*node, child.prop, options_);
+      switch (d.alg) {
+        case PhysicalAlg::kInStreamAggregate: {
+          InStreamAggregate::Options agg_options;
+          agg_options.use_ovc_boundaries = child.prop.has_ovc;
+          result.op = plan->Own(std::make_unique<InStreamAggregate>(
+              child.op, node->group_prefix, node->aggregates, counters_,
+              agg_options));
+          break;
+        }
+        case PhysicalAlg::kInSortAggregate:
+          result.op = plan->Own(std::make_unique<InSortAggregate>(
+              child.op, node->group_prefix, node->aggregates, counters_,
+              temp_, options_.sort_config));
+          break;
+        case PhysicalAlg::kHashAggregate:
+          result.op = plan->Own(std::make_unique<HashAggregate>(
+              child.op, node->group_prefix, node->aggregates,
+              options_.hash_memory_rows, counters_, temp_,
+              options_.hash_partitions));
+          break;
+        default:
+          OVC_CHECK(false);
+      }
+      result.prop = d.out;
+      plan->algorithms_.push_back(d.alg);
+      explain = ExplainLine(d.alg, result.prop,
+                            "group=" + std::to_string(node->group_prefix)) +
+                IndentBlock(child.explain);
+      break;
+    }
+
+    case LogicalOp::kDistinct: {
+      Built child = BuildNode(node->children[0].get(), plan, depth + 1);
+      UnaryDecision d = DecideDistinct(*node, child.prop, options_);
+      if (d.sort_child) {
+        child.explain = ExplainLine(PhysicalAlg::kSort, SortOutput(
+            node->children[0]->schema, options_.sort_config), "inserted") +
+            IndentBlock(child.explain);
+        child = InsertSort(child, plan, depth + 1);
+      }
+      switch (d.alg) {
+        case PhysicalAlg::kDedup:
+          result.op = plan->Own(std::make_unique<DedupOperator>(child.op));
+          break;
+        case PhysicalAlg::kInSortDistinct:
+          result.op = plan->Own(std::make_unique<InSortAggregate>(
+              child.op, node->schema.key_arity(),
+              std::vector<AggregateSpec>(), counters_, temp_,
+              options_.sort_config));
+          break;
+        case PhysicalAlg::kHashDistinct:
+          result.op = plan->Own(std::make_unique<HashAggregate>(
+              child.op, node->schema.key_arity(),
+              std::vector<AggregateSpec>(), options_.hash_memory_rows,
+              counters_, temp_, options_.hash_partitions));
+          break;
+        default:
+          OVC_CHECK(false);
+      }
+      result.prop = d.out;
+      plan->algorithms_.push_back(d.alg);
+      explain = ExplainLine(d.alg, result.prop, "") +
+                IndentBlock(child.explain);
+      break;
+    }
+
+    case LogicalOp::kSetOp: {
+      Built left = BuildNode(node->children[0].get(), plan, depth + 1);
+      Built right = BuildNode(node->children[1].get(), plan, depth + 1);
+      if (!SortedWithCodesOn(left.prop, node->children[0]->schema)) {
+        left.explain = ExplainLine(PhysicalAlg::kSort, SortOutput(
+            node->children[0]->schema, options_.sort_config), "inserted") +
+            IndentBlock(left.explain);
+        left = InsertSort(left, plan, depth + 1);
+      }
+      if (!SortedWithCodesOn(right.prop, node->children[1]->schema)) {
+        right.explain = ExplainLine(PhysicalAlg::kSort, SortOutput(
+            node->children[1]->schema, options_.sort_config), "inserted") +
+            IndentBlock(right.explain);
+        right = InsertSort(right, plan, depth + 1);
+      }
+      result.op = plan->Own(std::make_unique<SetOperation>(
+          left.op, right.op, node->set_op, node->set_all, counters_));
+      result.prop =
+          OrderProperty::Sorted(node->schema.key_arity(), /*ovc=*/true);
+      plan->algorithms_.push_back(PhysicalAlg::kSetOperation);
+      explain = ExplainLine(PhysicalAlg::kSetOperation, result.prop,
+                            node->set_all ? "all" : "distinct") +
+                IndentBlock(left.explain) + IndentBlock(right.explain);
+      break;
+    }
+
+    case LogicalOp::kSort: {
+      Built child = BuildNode(node->children[0].get(), plan, depth + 1);
+      UnaryDecision d = DecideSort(*node, child.prop, options_);
+      if (d.alg == PhysicalAlg::kElidedSort) {
+        result.op = child.op;  // the logical sort vanishes entirely
+        ++plan->elided_sorts_;
+      } else {
+        result.op = plan->Own(std::make_unique<SortOperator>(
+            child.op, counters_, temp_, options_.sort_config));
+        ++plan->explicit_sorts_;
+      }
+      result.prop = d.out;
+      plan->algorithms_.push_back(d.alg);
+      explain = ExplainLine(d.alg, result.prop, "") +
+                IndentBlock(child.explain);
+      break;
+    }
+
+    case LogicalOp::kTopK: {
+      Built child = BuildNode(node->children[0].get(), plan, depth + 1);
+      UnaryDecision d = DecideTopK(*node, child.prop, options_);
+      Operator* input = child.op;
+      if (d.sort_child) {
+        child.explain = ExplainLine(PhysicalAlg::kSort, SortOutput(
+            node->children[0]->schema, options_.sort_config), "inserted") +
+            IndentBlock(child.explain);
+        child = InsertSort(child, plan, depth + 1);
+        input = child.op;
+      }
+      result.op =
+          plan->Own(std::make_unique<LimitOperator>(input, node->limit));
+      result.prop = d.out;
+      plan->algorithms_.push_back(PhysicalAlg::kLimit);
+      explain = ExplainLine(PhysicalAlg::kLimit, result.prop,
+                            "k=" + std::to_string(node->limit)) +
+                IndentBlock(child.explain);
+      break;
+    }
+  }
+
+  OVC_DCHECK(result.op->sorted() == result.prop.sorted());
+  OVC_DCHECK(result.op->has_ovc() == result.prop.has_ovc);
+  result.explain = std::move(explain);
+  if (depth == 0) plan->explain_ = result.explain;
+  return result;
+}
+
+}  // namespace ovc::plan

@@ -1,0 +1,184 @@
+// Physical planning: from a logical plan to an executable operator tree.
+//
+// The planner walks the logical tree bottom-up, tracking each subtree's
+// OrderProperty, and picks physical algorithms by matching available
+// properties against required ones:
+//
+//  * A Sort node whose input is already sorted with offset-value codes is
+//    *elided* -- the paper's headline planner win: order and codes flowing
+//    out of one sort-based operator (or out of sorted storage) make the
+//    next sort free.
+//  * Join: merge join when both inputs arrive sorted with codes. When only
+//    the probe side does: the order-preserving in-memory hash join
+//    (Section 4.9) if the caller vouches the build fits in memory
+//    (assume_build_fits_memory -- the operator aborts past its budget),
+//    otherwise the build side is sorted and merge join reuses the probe's
+//    order. The spilling grace hash join runs when neither side has order
+//    (a parent's order interest is served by an order-producing operator
+//    over the join output -- cheaper than sorting both inputs, pending the
+//    ROADMAP's cost model); sorts are inserted to enable merge join for
+//    the join types hash joins cannot run (and under prefer_sort_based).
+//  * Aggregate: in-stream aggregation over sorted input (boundaries from
+//    codes, Section 4.5); in-sort aggregation (early duplicate collapse,
+//    Figure 5) when the input is unsorted but the parent has an interesting
+//    order or sort-based planning is preferred; hash aggregation otherwise.
+//  * Distinct: code-only duplicate removal over sorted input (Section 4.4);
+//    in-sort or hash duplicate removal over unsorted input.
+//  * Set operations are inherently sort-based; sorts are inserted only for
+//    children that lack order or codes.
+//
+// Every physical join is normalized to the canonical merge-join output
+// layout (join key, left payloads, right payloads, match indicator), so the
+// same logical plan produces identical rows no matter which algorithms the
+// planner picks.
+
+#ifndef OVC_PLAN_PHYSICAL_PLAN_H_
+#define OVC_PLAN_PHYSICAL_PLAN_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/counters.h"
+#include "common/temp_file.h"
+#include "exec/operator.h"
+#include "plan/logical_plan.h"
+#include "plan/order_property.h"
+#include "sort/external_sort.h"
+
+namespace ovc::plan {
+
+/// Physical algorithms the planner chooses among.
+enum class PhysicalAlg : uint8_t {
+  kScan,
+  kFilter,
+  kProject,
+  kMergeJoin,
+  kOrderPreservingHashJoin,
+  kGraceHashJoin,
+  kInStreamAggregate,
+  kInSortAggregate,
+  kHashAggregate,
+  kDedup,
+  kInSortDistinct,
+  kHashDistinct,
+  kSetOperation,
+  kSort,        // a SortOperator: explicit, or inserted by the planner
+  kElidedSort,  // a logical Sort satisfied by its input's properties
+  kLimit,
+};
+
+/// Short name, e.g. "merge-join", "elided-sort".
+const char* PhysicalAlgName(PhysicalAlg alg);
+
+/// Planner knobs.
+struct PlannerOptions {
+  /// True forces sort-based algorithms (inserting sorts) even where a
+  /// hash-based operator would serve an order-indifferent consumer.
+  bool prefer_sort_based = false;
+  /// Configuration for planner-inserted sorts and in-sort aggregation
+  /// (memory budget, fan-in, run generation). Planner-inserted sorts feed
+  /// code-consuming operators, so the config must produce output codes:
+  /// use_ovc == false requires naive_output_codes == true (the paper's
+  /// expensive strawman); the planner checks this when it inserts a sort.
+  SortConfig sort_config;
+  /// True lets the planner pick the order-preserving in-memory hash join
+  /// (Section 4.9) for a sorted probe over an unsorted build. That
+  /// operator *aborts* if the build side exceeds hash_memory_rows -- its
+  /// residency guarantee is the caller's job -- so this stays off by
+  /// default; the robust default sorts the build side and merge joins,
+  /// which spills gracefully and still reuses the probe's order.
+  bool assume_build_fits_memory = false;
+  /// Row budget for hash-join build sides and hash-aggregation tables.
+  uint64_t hash_memory_rows = uint64_t{1} << 20;
+  /// Spill partitions for grace hash join / hash aggregation.
+  uint32_t hash_partitions = 16;
+};
+
+/// An executable physical plan: owns its operator tree.
+class PhysicalPlan {
+ public:
+  /// Root of the operator tree (owned by the plan).
+  Operator* root() const { return root_; }
+
+  /// Order property of the root's output stream.
+  const OrderProperty& root_order() const { return root_order_; }
+
+  /// Number of SortOperators the planner inserted because an input lacked
+  /// the required order or codes (explicit logical Sort nodes that survive
+  /// are counted separately under `explicit_sorts`).
+  uint32_t inserted_sorts() const { return inserted_sorts_; }
+  /// Logical Sort nodes that became physical SortOperators.
+  uint32_t explicit_sorts() const { return explicit_sorts_; }
+  /// Logical Sort nodes elided because their input already delivered order
+  /// and codes.
+  uint32_t elided_sorts() const { return elided_sorts_; }
+
+  /// True when the plan uses `alg` anywhere.
+  bool Uses(PhysicalAlg alg) const;
+  /// All algorithm choices, one per physical node, in plan-tree order.
+  const std::vector<PhysicalAlg>& algorithms() const { return algorithms_; }
+
+  /// Multi-line indented rendering with per-node order properties.
+  std::string ToString() const { return explain_; }
+
+ private:
+  friend class Planner;
+
+  Operator* Own(std::unique_ptr<Operator> op) {
+    operators_.push_back(std::move(op));
+    return operators_.back().get();
+  }
+
+  std::vector<std::unique_ptr<Operator>> operators_;
+  Operator* root_ = nullptr;
+  OrderProperty root_order_;
+  uint32_t inserted_sorts_ = 0;
+  uint32_t explicit_sorts_ = 0;
+  uint32_t elided_sorts_ = 0;
+  std::vector<PhysicalAlg> algorithms_;
+  std::string explain_;
+};
+
+/// The physical planner.
+class Planner {
+ public:
+  /// `counters` (optional) and `temp` must outlive every plan produced.
+  Planner(QueryCounters* counters, TempFileManager* temp,
+          PlannerOptions options = PlannerOptions());
+
+  /// Runs the interesting-orders pass over `root`, then builds the
+  /// physical operator tree. `root` (and the storage behind its scans)
+  /// must outlive the returned plan.
+  PhysicalPlan Plan(LogicalNode* root);
+
+  const PlannerOptions& options() const { return options_; }
+
+ private:
+  struct Built {
+    Operator* op = nullptr;
+    OrderProperty prop;
+    /// Relative-indentation explain block for this subtree.
+    std::string explain;
+  };
+
+  Built BuildNode(LogicalNode* node, PhysicalPlan* plan, int depth);
+  /// Wraps `child` in a planner-inserted SortOperator.
+  Built InsertSort(Built child, PhysicalPlan* plan, int depth);
+
+  QueryCounters* counters_;
+  TempFileManager* temp_;
+  PlannerOptions options_;
+};
+
+/// Pure order-property inference: the property the planner's chosen
+/// physical plan will deliver for `node`, computed without constructing any
+/// operator. Requirement annotations must be in place (the function runs
+/// the same decision rules as Planner::Plan; a freshly built tree should
+/// first pass through InferOrderRequirements).
+OrderProperty InferOrderProperty(const LogicalNode& node,
+                                 const PlannerOptions& options);
+
+}  // namespace ovc::plan
+
+#endif  // OVC_PLAN_PHYSICAL_PLAN_H_

@@ -1,0 +1,58 @@
+#include "plan/plan_executor.h"
+
+#include <utility>
+
+#include "core/ovc_checker.h"
+
+namespace ovc::plan {
+
+PlanExecutor::PlanExecutor(QueryCounters* counters, TempFileManager* temp,
+                           Options options)
+    : counters_(counters), temp_(temp), options_(std::move(options)) {}
+
+PhysicalPlan PlanExecutor::Plan(LogicalNode* root) {
+  Planner planner(counters_, temp_, options_.planner);
+  return planner.Plan(root);
+}
+
+ExecutionResult PlanExecutor::Run(LogicalNode* root) {
+  last_plan_ = std::make_unique<PhysicalPlan>(Plan(root));
+  return Run(last_plan_.get());
+}
+
+ExecutionResult PlanExecutor::Run(PhysicalPlan* plan) {
+  Operator* root = plan->root();
+  ExecutionResult result;
+  result.order = plan->root_order();
+  result.rows = RowBuffer(root->schema().total_columns());
+
+  // Validation applies exactly when the plan promises the full contract:
+  // a sorted stream whose rows carry valid codes.
+  const bool validate =
+      options_.validate &&
+      plan->root_order().SortedWithCodes(root->schema().key_arity());
+  OvcStreamChecker checker(&root->schema());
+
+  root->Open();
+  RowRef ref;
+  while (root->Next(&ref)) {
+    if (validate) checker.Observe(ref.cols, ref.ovc);
+    result.rows.AppendRow(ref.cols);
+  }
+  root->Close();
+
+  if (validate) {
+    result.validated = true;
+    if (!checker.ok()) {
+      result.validation_error = checker.error();
+      if (options_.abort_on_violation) {
+        std::fprintf(stderr, "plan output stream violation: %s\n",
+                     checker.error().c_str());
+        OVC_CHECK(checker.ok());
+      }
+    }
+  }
+  return result;
+}
+
+}  // namespace ovc::plan

@@ -1,0 +1,90 @@
+// Plan execution: planning + running + stream validation in one call.
+//
+// PlanExecutor is the subsystem's front door: hand it a logical plan, get
+// back the materialized result together with the physical plan that
+// produced it. In debug builds (or when validation is forced on) the
+// executor feeds every output row of an order-carrying plan through
+// OvcStreamChecker, so any operator that breaks the sorted-with-codes
+// contract is caught at the plan boundary, not three operators later.
+
+#ifndef OVC_PLAN_PLAN_EXECUTOR_H_
+#define OVC_PLAN_PLAN_EXECUTOR_H_
+
+#include <memory>
+#include <string>
+
+#include "common/counters.h"
+#include "common/temp_file.h"
+#include "plan/logical_plan.h"
+#include "plan/physical_plan.h"
+#include "row/row_buffer.h"
+
+namespace ovc::plan {
+
+/// A materialized query result.
+struct ExecutionResult {
+  ExecutionResult() : rows(1) {}
+
+  /// All output rows, in the order the root operator produced them.
+  RowBuffer rows;
+  /// Order property of the root stream.
+  OrderProperty order;
+  /// True when the output stream was validated with OvcStreamChecker.
+  bool validated = false;
+  /// First validation violation (empty when none, or when not validated).
+  std::string validation_error;
+
+  uint64_t row_count() const { return rows.size(); }
+  bool ok() const { return validation_error.empty(); }
+};
+
+/// Plans and runs logical plans.
+class PlanExecutor {
+ public:
+  struct Options {
+    /// Physical-planner knobs.
+    PlannerOptions planner;
+    /// Validate sorted-with-codes root streams with OvcStreamChecker.
+    /// Defaults to on in debug builds, off in release (per-row naive code
+    /// recomputation is quadratic in key arity).
+#ifndef NDEBUG
+    bool validate = true;
+#else
+    bool validate = false;
+#endif
+    /// Abort (OVC_CHECK) on a validation violation instead of only
+    /// recording it in the result.
+    bool abort_on_violation = true;
+  };
+
+  /// `counters` (optional) and `temp` must outlive the executor.
+  PlanExecutor(QueryCounters* counters, TempFileManager* temp)
+      : PlanExecutor(counters, temp, Options()) {}
+  PlanExecutor(QueryCounters* counters, TempFileManager* temp,
+               Options options);
+
+  /// Plans `root` and returns the physical plan without running it.
+  PhysicalPlan Plan(LogicalNode* root);
+
+  /// Plans and runs `root`; materializes the full output. The logical plan
+  /// (and the storage behind its scans) must stay alive for the call.
+  ExecutionResult Run(LogicalNode* root);
+
+  /// Runs an already-built physical plan.
+  ExecutionResult Run(PhysicalPlan* plan);
+
+  /// The physical plan of the most recent Run(LogicalNode*) call.
+  const PhysicalPlan* last_plan() const { return last_plan_.get(); }
+
+  const Options& options() const { return options_; }
+
+ private:
+  QueryCounters* counters_;
+  TempFileManager* temp_;
+  Options options_;
+  std::unique_ptr<PhysicalPlan> last_plan_;
+};
+
+}  // namespace ovc::plan
+
+#endif  // OVC_PLAN_PLAN_EXECUTOR_H_

@@ -1,16 +1,8 @@
 #include "pq/loser_tree.h"
 
-#include <bit>
+#include "common/bits.h"
 
 namespace ovc {
-
-namespace {
-
-uint32_t PadToPowerOfTwo(uint32_t n) {
-  return n <= 1 ? 1 : std::bit_ceil(n);
-}
-
-}  // namespace
 
 OvcMerger::OvcMerger(const OvcCodec* codec, const KeyComparator* comparator,
                      std::vector<MergeSource*> sources, Options options)
@@ -19,7 +11,7 @@ OvcMerger::OvcMerger(const OvcCodec* codec, const KeyComparator* comparator,
       sources_(std::move(sources)),
       options_(options) {
   OVC_CHECK(!sources_.empty());
-  capacity_ = PadToPowerOfTwo(static_cast<uint32_t>(sources_.size()));
+  capacity_ = CeilToPowerOfTwo(static_cast<uint32_t>(sources_.size()));
   nodes_.assign(capacity_, Entry{OvcCodec::LateFence(), 0});
   rows_.assign(capacity_, nullptr);
 }
@@ -118,7 +110,7 @@ PqSorter::PqSorter(const OvcCodec* codec, const KeyComparator* comparator)
 void PqSorter::Reset(const uint64_t* const* rows, uint32_t count) {
   rows_ = rows;
   count_ = count;
-  capacity_ = PadToPowerOfTwo(count == 0 ? 1 : count);
+  capacity_ = CeilToPowerOfTwo(count == 0 ? 1 : count);
   nodes_.assign(capacity_, Entry{OvcCodec::LateFence(), 0});
   started_ = false;
   winner_ = Entry{OvcCodec::LateFence(), 0};

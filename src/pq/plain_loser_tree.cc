@@ -1,19 +1,11 @@
 #include "pq/plain_loser_tree.h"
 
-#include <bit>
 #include <cstring>
 
+#include "common/bits.h"
 #include "core/ovc_reference.h"
 
 namespace ovc {
-
-namespace {
-
-uint32_t PadToPowerOfTwo(uint32_t n) {
-  return n <= 1 ? 1 : std::bit_ceil(n);
-}
-
-}  // namespace
 
 PlainMerger::PlainMerger(const OvcCodec* codec, const KeyComparator* comparator,
                          std::vector<MergeSource*> sources, Options options)
@@ -22,7 +14,7 @@ PlainMerger::PlainMerger(const OvcCodec* codec, const KeyComparator* comparator,
       sources_(std::move(sources)),
       options_(options) {
   OVC_CHECK(!sources_.empty());
-  capacity_ = PadToPowerOfTwo(static_cast<uint32_t>(sources_.size()));
+  capacity_ = CeilToPowerOfTwo(static_cast<uint32_t>(sources_.size()));
   nodes_.assign(capacity_, Entry{0, true});
   rows_.assign(capacity_, nullptr);
   prev_row_.assign(codec_->schema().total_columns(), 0);
@@ -130,7 +122,7 @@ PlainPqSorter::PlainPqSorter(const OvcCodec* codec,
 void PlainPqSorter::Reset(const uint64_t* const* rows, uint32_t count) {
   rows_ = rows;
   count_ = count;
-  capacity_ = PadToPowerOfTwo(count == 0 ? 1 : count);
+  capacity_ = CeilToPowerOfTwo(count == 0 ? 1 : count);
   nodes_.assign(capacity_, Entry{0, true});
   done_.assign(count, false);
   started_ = false;

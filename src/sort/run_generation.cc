@@ -1,9 +1,9 @@
 #include "sort/run_generation.h"
 
 #include <algorithm>
-#include <bit>
 #include <cstring>
 
+#include "common/bits.h"
 #include "core/ovc_compare.h"
 #include "core/ovc_reference.h"
 #include "pq/loser_tree.h"
@@ -147,7 +147,7 @@ ReplacementSelection::ReplacementSelection(const Schema* schema,
       counters_(counters),
       temp_(temp),
       capacity_(capacity),
-      tree_capacity_(capacity <= 1 ? 1 : std::bit_ceil(capacity)),
+      tree_capacity_(CeilToPowerOfTwo(capacity)),
       slots_(schema->total_columns()),
       prev_emitted_(schema->total_columns(), 0) {
   OVC_CHECK(capacity >= 1);

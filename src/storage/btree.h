@@ -57,6 +57,9 @@ class BTree {
   /// Rows currently stored.
   uint64_t size() const { return size_; }
 
+  /// Row layout of the stored table (and of every scan).
+  const Schema& schema() const { return *schema_; }
+
   /// Full ordered scan with offset-value codes (zero comparisons).
   /// The returned operator borrows the tree; do not mutate during a scan.
   std::unique_ptr<Operator> Scan() const;

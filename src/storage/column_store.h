@@ -36,6 +36,9 @@ class RleColumnStore {
   /// Rows stored.
   uint64_t rows() const { return rows_; }
 
+  /// Row layout of the stored table (and of every scan).
+  const Schema& schema() const { return *schema_; }
+
   /// Stored key-column segments (for compression-ratio reporting).
   uint64_t total_segments() const;
 

@@ -63,6 +63,9 @@ class LsmForest {
   /// The forest must outlive the scan and not be mutated during it.
   std::unique_ptr<Operator> ScanAll();
 
+  /// Row layout of the stored table (and of every scan).
+  const Schema& schema() const { return *schema_; }
+
   /// Current run count (after any pending flush).
   size_t run_count() const { return runs_.size(); }
   /// Total rows ingested.

@@ -26,7 +26,7 @@ uint64_t ReadVarint(const std::vector<uint8_t>& bytes, size_t* pos) {
   int shift = 0;
   while (true) {
     const uint8_t b = bytes[(*pos)++];
-    v |= uint64_t{b & 0x7f} << shift;
+    v |= static_cast<uint64_t>(b & 0x7f) << shift;
     if ((b & 0x80) == 0) break;
     shift += 7;
   }

@@ -1,0 +1,294 @@
+// End-to-end planner tests: PlanExecutor output cross-checked against
+// reference oracles, and plan equivalence across physical alternatives --
+// the same logical plan over pre-sorted and unsorted inputs must produce
+// identical canonicalized results, with sorts only where order is missing.
+
+#include <map>
+#include <memory>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "plan/logical_plan.h"
+#include "plan/physical_plan.h"
+#include "plan/plan_executor.h"
+#include "storage/btree.h"
+#include "tests/test_util.h"
+
+namespace ovc {
+namespace {
+
+using plan::BufferSource;
+using plan::BTreeSource;
+using plan::ExecutionResult;
+using plan::LogicalNode;
+using plan::PhysicalAlg;
+using plan::PlanBuilder;
+using plan::PlanExecutor;
+using plan::PlannerOptions;
+
+testing::RowVec ToCanonicalRowVec(const RowBuffer& rows) {
+  testing::RowVec vec = testing::ToRowVec(rows);
+  testing::Canonicalize(&vec);
+  return vec;
+}
+
+class PlanExecutorTest : public ::testing::Test {
+ protected:
+  PlanExecutor MakeExecutor(bool prefer_sort_based = false) {
+    PlanExecutor::Options options;
+    options.planner.prefer_sort_based = prefer_sort_based;
+    options.validate = true;  // validate in release builds too
+    return PlanExecutor(&counters_, &temp_, options);
+  }
+
+  QueryCounters counters_;
+  TempFileManager temp_;
+};
+
+TEST_F(PlanExecutorTest, SortPlanMatchesReferenceSort) {
+  Schema schema(3, 1);
+  RowBuffer table = testing::MakeTable(schema, 2000, 5, /*seed=*/7);
+  auto logical =
+      PlanBuilder::Scan(BufferSource("t", &schema, &table)).Sort().Build();
+
+  PlanExecutor executor = MakeExecutor();
+  ExecutionResult result = executor.Run(logical.get());
+
+  EXPECT_TRUE(result.validated);
+  EXPECT_TRUE(result.ok()) << result.validation_error;
+  EXPECT_EQ(testing::ToRowVec(result.rows),
+            testing::ReferenceSort(schema, table));
+}
+
+TEST_F(PlanExecutorTest, TopKPlanReturnsSmallestRows) {
+  Schema schema(2, 1);
+  RowBuffer table = testing::MakeTable(schema, 1000, 8, /*seed=*/11);
+  auto logical =
+      PlanBuilder::Scan(BufferSource("t", &schema, &table)).TopK(25).Build();
+
+  PlanExecutor executor = MakeExecutor();
+  ExecutionResult result = executor.Run(logical.get());
+
+  testing::RowVec expected = testing::ReferenceSort(schema, table);
+  expected.resize(25);
+  EXPECT_TRUE(result.ok()) << result.validation_error;
+  EXPECT_EQ(testing::ToRowVec(result.rows), expected);
+}
+
+TEST_F(PlanExecutorTest, DistinctPlansAgreeAcrossPhysicalAlternatives) {
+  Schema schema(2, 0);
+  RowBuffer table = testing::MakeTable(schema, 3000, 6, /*seed=*/13);
+  auto logical =
+      PlanBuilder::Scan(BufferSource("t", &schema, &table)).Distinct().Build();
+
+  // Oracle: unique rows of the reference sort.
+  testing::RowVec expected = testing::ReferenceSort(schema, table);
+  expected.erase(std::unique(expected.begin(), expected.end()),
+                 expected.end());
+
+  PlanExecutor hash_exec = MakeExecutor(/*prefer_sort_based=*/false);
+  ExecutionResult hash_result = hash_exec.Run(logical.get());
+  EXPECT_TRUE(hash_exec.last_plan()->Uses(PhysicalAlg::kHashDistinct));
+  EXPECT_EQ(ToCanonicalRowVec(hash_result.rows), expected);
+
+  PlanExecutor sort_exec = MakeExecutor(/*prefer_sort_based=*/true);
+  ExecutionResult sort_result = sort_exec.Run(logical.get());
+  EXPECT_TRUE(sort_exec.last_plan()->Uses(PhysicalAlg::kInSortDistinct));
+  EXPECT_TRUE(sort_result.validated);
+  EXPECT_TRUE(sort_result.ok()) << sort_result.validation_error;
+  // The sort-based plan's output is already sorted: no canonicalization
+  // needed on its side.
+  EXPECT_EQ(testing::ToRowVec(sort_result.rows), expected);
+}
+
+TEST_F(PlanExecutorTest, SetOpPlanMatchesReferenceIntersection) {
+  Schema schema(2, 0);
+  RowBuffer left = testing::MakeTable(schema, 800, 5, /*seed=*/17);
+  RowBuffer right = testing::MakeTable(schema, 800, 5, /*seed=*/19);
+
+  auto logical =
+      PlanBuilder::Scan(BufferSource("l", &schema, &left))
+          .SetOp(PlanBuilder::Scan(BufferSource("r", &schema, &right)),
+                 SetOpType::kIntersect, /*all=*/false)
+          .Build();
+
+  testing::RowVec lv = testing::ReferenceSort(schema, left);
+  testing::RowVec rv = testing::ReferenceSort(schema, right);
+  lv.erase(std::unique(lv.begin(), lv.end()), lv.end());
+  rv.erase(std::unique(rv.begin(), rv.end()), rv.end());
+  testing::RowVec expected;
+  std::set_intersection(lv.begin(), lv.end(), rv.begin(), rv.end(),
+                        std::back_inserter(expected));
+
+  PlanExecutor executor = MakeExecutor();
+  ExecutionResult result = executor.Run(logical.get());
+  EXPECT_EQ(executor.last_plan()->inserted_sorts(), 2u);
+  EXPECT_TRUE(result.ok()) << result.validation_error;
+  EXPECT_EQ(testing::ToRowVec(result.rows), expected);
+}
+
+// The acceptance scenario: scan -> join -> aggregate -> distinct.
+//
+// Over pre-sorted inputs (B-trees delivering codes for free) the physical
+// plan must contain *zero* sorts of any kind -- every operator consumes and
+// reproduces order and codes -- and the output stream must pass
+// OvcStreamChecker. The same logical plan over unsorted buffers must
+// automatically fall back (hash join + in-sort aggregation here, or
+// planner-inserted sorts with prefer_sort_based) and produce identical
+// canonicalized results.
+class JoinAggregateDistinctTest : public PlanExecutorTest {
+ protected:
+  JoinAggregateDistinctTest()
+      : schema_(2, 1),
+        left_(testing::MakeTable(schema_, 1500, 5, /*seed=*/23)),
+        right_(testing::MakeTable(schema_, 1200, 5, /*seed=*/29)),
+        left_tree_(&schema_, &counters_),
+        right_tree_(&schema_, &counters_) {
+    for (size_t i = 0; i < left_.size(); ++i) left_tree_.Insert(left_.row(i));
+    for (size_t i = 0; i < right_.size(); ++i) {
+      right_tree_.Insert(right_.row(i));
+    }
+  }
+
+  /// scan(l) join scan(r) -> group by key0 -> count + sum(left payload)
+  /// -> distinct.
+  std::unique_ptr<LogicalNode> MakeLogical(bool sorted_sources) {
+    PlanBuilder left = sorted_sources
+                           ? PlanBuilder::Scan(BTreeSource("l", &left_tree_))
+                           : PlanBuilder::Scan(
+                                 BufferSource("l", &schema_, &left_));
+    PlanBuilder right =
+        sorted_sources
+            ? PlanBuilder::Scan(BTreeSource("r", &right_tree_))
+            : PlanBuilder::Scan(BufferSource("r", &schema_, &right_));
+    return left.Join(std::move(right), JoinType::kInner)
+        .Aggregate(1, {{AggFn::kCount, 0}, {AggFn::kSum, 2}})
+        .Distinct()
+        .Build();
+  }
+
+  /// Test-side oracle: nested-loop join on both key columns, then group by
+  /// key0 with count and sum of the left payload (canonical join layout
+  /// column 2).
+  testing::RowVec Oracle() {
+    std::map<uint64_t, std::pair<uint64_t, uint64_t>> groups;
+    for (size_t i = 0; i < left_.size(); ++i) {
+      const uint64_t* l = left_.row(i);
+      for (size_t j = 0; j < right_.size(); ++j) {
+        const uint64_t* r = right_.row(j);
+        if (l[0] == r[0] && l[1] == r[1]) {
+          auto& g = groups[l[0]];
+          g.first += 1;       // count
+          g.second += l[2];   // sum of left payload
+        }
+      }
+    }
+    testing::RowVec expected;
+    for (const auto& [key, agg] : groups) {
+      expected.push_back({key, agg.first, agg.second});
+    }
+    return expected;
+  }
+
+  Schema schema_;
+  RowBuffer left_;
+  RowBuffer right_;
+  BTree left_tree_;
+  BTree right_tree_;
+};
+
+TEST_F(JoinAggregateDistinctTest, PresortedInputsExecuteWithZeroSorts) {
+  auto logical = MakeLogical(/*sorted_sources=*/true);
+  PlanExecutor executor = MakeExecutor();
+  ExecutionResult result = executor.Run(logical.get());
+
+  const auto* plan = executor.last_plan();
+  EXPECT_EQ(plan->inserted_sorts(), 0u) << plan->ToString();
+  EXPECT_FALSE(plan->Uses(PhysicalAlg::kSort)) << plan->ToString();
+  EXPECT_FALSE(plan->Uses(PhysicalAlg::kInSortAggregate)) << plan->ToString();
+  EXPECT_TRUE(plan->Uses(PhysicalAlg::kMergeJoin));
+  EXPECT_TRUE(plan->Uses(PhysicalAlg::kInStreamAggregate));
+  EXPECT_TRUE(plan->Uses(PhysicalAlg::kDedup));
+
+  // Order and codes flow through the entire plan and check out.
+  EXPECT_TRUE(result.validated);
+  EXPECT_TRUE(result.ok()) << result.validation_error;
+  EXPECT_TRUE(result.order.SortedWithCodes(1));
+  EXPECT_EQ(testing::ToRowVec(result.rows), Oracle());
+}
+
+TEST_F(JoinAggregateDistinctTest, UnsortedInputsFallBackAndAgree) {
+  auto logical = MakeLogical(/*sorted_sources=*/false);
+  PlanExecutor executor = MakeExecutor();
+  ExecutionResult result = executor.Run(logical.get());
+
+  const auto* plan = executor.last_plan();
+  // The planner copes with the missing order without a single standalone
+  // sort: hash join where order does not matter, in-sort aggregation where
+  // it does (the distinct above has an interesting order).
+  EXPECT_TRUE(plan->Uses(PhysicalAlg::kGraceHashJoin)) << plan->ToString();
+  EXPECT_TRUE(plan->Uses(PhysicalAlg::kInSortAggregate)) << plan->ToString();
+  EXPECT_EQ(plan->inserted_sorts(), 0u) << plan->ToString();
+
+  EXPECT_TRUE(result.ok()) << result.validation_error;
+  EXPECT_EQ(ToCanonicalRowVec(result.rows), Oracle());
+}
+
+TEST_F(JoinAggregateDistinctTest, SortBasedFallbackInsertsSortsAndAgrees) {
+  auto logical = MakeLogical(/*sorted_sources=*/false);
+  PlanExecutor executor = MakeExecutor(/*prefer_sort_based=*/true);
+  ExecutionResult result = executor.Run(logical.get());
+
+  const auto* plan = executor.last_plan();
+  EXPECT_TRUE(plan->Uses(PhysicalAlg::kMergeJoin)) << plan->ToString();
+  EXPECT_EQ(plan->inserted_sorts(), 2u) << plan->ToString();
+
+  EXPECT_TRUE(result.validated);
+  EXPECT_TRUE(result.ok()) << result.validation_error;
+  EXPECT_EQ(testing::ToRowVec(result.rows), Oracle());
+}
+
+TEST_F(JoinAggregateDistinctTest, MixedInputsUseOrderPreservingHashJoin) {
+  PlanBuilder left = PlanBuilder::Scan(BTreeSource("l", &left_tree_));
+  PlanBuilder right = PlanBuilder::Scan(BufferSource("r", &schema_, &right_));
+  auto logical = left.Join(std::move(right), JoinType::kInner)
+                     .Aggregate(1, {{AggFn::kCount, 0}, {AggFn::kSum, 2}})
+                     .Distinct()
+                     .Build();
+
+  // Opt in to the in-memory hash join (the build side fits comfortably).
+  PlanExecutor::Options options;
+  options.planner.assume_build_fits_memory = true;
+  options.validate = true;
+  PlanExecutor executor(&counters_, &temp_, options);
+  ExecutionResult result = executor.Run(logical.get());
+
+  const auto* plan = executor.last_plan();
+  EXPECT_TRUE(plan->Uses(PhysicalAlg::kOrderPreservingHashJoin))
+      << plan->ToString();
+  EXPECT_EQ(plan->inserted_sorts(), 0u);
+  EXPECT_TRUE(result.ok()) << result.validation_error;
+  EXPECT_EQ(testing::ToRowVec(result.rows), Oracle());
+}
+
+TEST_F(JoinAggregateDistinctTest, MixedInputsSortOnlyTheBuildSideByDefault) {
+  PlanBuilder left = PlanBuilder::Scan(BTreeSource("l", &left_tree_));
+  PlanBuilder right = PlanBuilder::Scan(BufferSource("r", &schema_, &right_));
+  auto logical = left.Join(std::move(right), JoinType::kInner)
+                     .Aggregate(1, {{AggFn::kCount, 0}, {AggFn::kSum, 2}})
+                     .Distinct()
+                     .Build();
+
+  PlanExecutor executor = MakeExecutor();
+  ExecutionResult result = executor.Run(logical.get());
+
+  const auto* plan = executor.last_plan();
+  EXPECT_TRUE(plan->Uses(PhysicalAlg::kMergeJoin)) << plan->ToString();
+  EXPECT_EQ(plan->inserted_sorts(), 1u) << plan->ToString();
+  EXPECT_TRUE(result.ok()) << result.validation_error;
+  EXPECT_EQ(testing::ToRowVec(result.rows), Oracle());
+}
+
+}  // namespace
+}  // namespace ovc

@@ -1,0 +1,350 @@
+// Planner unit tests: order-property propagation, interesting orders, and
+// physical algorithm choice (sort elision when order + codes are available,
+// hash fallback when they are not).
+
+#include <memory>
+
+#include <gtest/gtest.h>
+
+#include "plan/logical_plan.h"
+#include "plan/order_property.h"
+#include "plan/physical_plan.h"
+#include "storage/btree.h"
+#include "tests/test_util.h"
+
+namespace ovc {
+namespace {
+
+using plan::BufferSource;
+using plan::BTreeSource;
+using plan::InferOrderProperty;
+using plan::LogicalNode;
+using plan::LogicalOp;
+using plan::OrderProperty;
+using plan::OrderRequirement;
+using plan::PhysicalAlg;
+using plan::PhysicalPlan;
+using plan::PlanBuilder;
+using plan::Planner;
+using plan::PlannerOptions;
+
+class PlannerTest : public ::testing::Test {
+ protected:
+  PlannerTest()
+      : schema_(2, 1),
+        key_schema_(2, 0),
+        table_(testing::MakeTable(schema_, 500, 4, /*seed=*/1)),
+        key_table_(testing::MakeTable(key_schema_, 500, 4, /*seed=*/2)),
+        tree_(&schema_, &counters_) {
+    for (size_t i = 0; i < table_.size(); ++i) tree_.Insert(table_.row(i));
+  }
+
+  PhysicalPlan Plan(LogicalNode* root, PlannerOptions options = {}) {
+    Planner planner(&counters_, &temp_, options);
+    return planner.Plan(root);
+  }
+
+  Schema schema_;      // 2 keys + 1 payload
+  Schema key_schema_;  // 2 keys, no payload
+  RowBuffer table_;
+  RowBuffer key_table_;
+  QueryCounters counters_;
+  TempFileManager temp_;
+  BTree tree_;
+};
+
+TEST(OrderPropertyTest, Satisfaction) {
+  OrderProperty unsorted = OrderProperty::Unsorted();
+  OrderProperty sorted2 = OrderProperty::Sorted(2, /*ovc=*/false);
+  OrderProperty coded2 = OrderProperty::Sorted(2, /*ovc=*/true);
+
+  EXPECT_FALSE(unsorted.sorted());
+  EXPECT_TRUE(sorted2.SortedOn(1));
+  EXPECT_TRUE(sorted2.SortedOn(2));
+  EXPECT_FALSE(sorted2.SortedOn(3));
+  EXPECT_FALSE(sorted2.SortedWithCodes(2));
+  EXPECT_TRUE(coded2.SortedWithCodes(2));
+
+  EXPECT_TRUE(OrderRequirement::None().SatisfiedBy(unsorted));
+  EXPECT_FALSE(OrderRequirement::Codes(1).SatisfiedBy(sorted2));
+  EXPECT_TRUE(OrderRequirement::Codes(1).SatisfiedBy(coded2));
+  OrderRequirement order_only{2, false};
+  EXPECT_TRUE(order_only.SatisfiedBy(sorted2));
+
+  EXPECT_EQ(coded2.ToString(), "sorted(2)+ovc");
+  EXPECT_EQ(unsorted.ToString(), "unsorted");
+}
+
+TEST_F(PlannerTest, ScanPropertiesComeFromTheSource) {
+  auto unsorted =
+      PlanBuilder::Scan(BufferSource("t", &schema_, &table_)).Build();
+  auto sorted = PlanBuilder::Scan(BTreeSource("bt", &tree_)).Build();
+
+  EXPECT_EQ(InferOrderProperty(*unsorted, {}), OrderProperty::Unsorted());
+  EXPECT_EQ(InferOrderProperty(*sorted, {}),
+            OrderProperty::Sorted(2, /*ovc=*/true));
+}
+
+TEST_F(PlannerTest, SortIsElidedWhenInputSortedWithCodes) {
+  auto logical = PlanBuilder::Scan(BTreeSource("bt", &tree_)).Sort().Build();
+  PhysicalPlan plan = Plan(logical.get());
+
+  EXPECT_TRUE(plan.Uses(PhysicalAlg::kElidedSort));
+  EXPECT_FALSE(plan.Uses(PhysicalAlg::kSort));
+  EXPECT_EQ(plan.elided_sorts(), 1u);
+  EXPECT_EQ(plan.inserted_sorts(), 0u);
+  EXPECT_EQ(plan.root_order(), OrderProperty::Sorted(2, true));
+}
+
+TEST_F(PlannerTest, SortMaterializesOverUnsortedInput) {
+  auto logical =
+      PlanBuilder::Scan(BufferSource("t", &schema_, &table_)).Sort().Build();
+  PhysicalPlan plan = Plan(logical.get());
+
+  EXPECT_TRUE(plan.Uses(PhysicalAlg::kSort));
+  EXPECT_EQ(plan.explicit_sorts(), 1u);
+  EXPECT_EQ(plan.root_order(), OrderProperty::Sorted(2, true));
+}
+
+TEST_F(PlannerTest, JoinPicksMergeWhenBothInputsSortedWithCodes) {
+  auto logical = PlanBuilder::Scan(BTreeSource("l", &tree_))
+                     .Join(PlanBuilder::Scan(BTreeSource("r", &tree_)),
+                           JoinType::kInner)
+                     .Build();
+  PhysicalPlan plan = Plan(logical.get());
+
+  EXPECT_TRUE(plan.Uses(PhysicalAlg::kMergeJoin));
+  EXPECT_EQ(plan.inserted_sorts(), 0u);
+  EXPECT_TRUE(plan.root_order().SortedWithCodes(2));
+}
+
+TEST_F(PlannerTest, JoinFallsBackToGraceHashOverUnsortedInputs) {
+  auto logical =
+      PlanBuilder::Scan(BufferSource("l", &schema_, &table_))
+          .Join(PlanBuilder::Scan(BufferSource("r", &schema_, &table_)),
+                JoinType::kInner)
+          .Build();
+  PhysicalPlan plan = Plan(logical.get());
+
+  EXPECT_TRUE(plan.Uses(PhysicalAlg::kGraceHashJoin));
+  EXPECT_EQ(plan.inserted_sorts(), 0u);
+  EXPECT_EQ(plan.root_order(), OrderProperty::Unsorted());
+}
+
+TEST_F(PlannerTest, JoinPicksOrderPreservingHashWhenOnlyProbeSorted) {
+  auto logical =
+      PlanBuilder::Scan(BTreeSource("l", &tree_))
+          .Join(PlanBuilder::Scan(BufferSource("r", &schema_, &table_)),
+                JoinType::kInner)
+          .Build();
+  // The in-memory hash join aborts past its build budget, so it is opt-in.
+  PlannerOptions options;
+  options.assume_build_fits_memory = true;
+  PhysicalPlan plan = Plan(logical.get(), options);
+
+  EXPECT_TRUE(plan.Uses(PhysicalAlg::kOrderPreservingHashJoin));
+  EXPECT_EQ(plan.inserted_sorts(), 0u);
+  // The order-preserving hash join carries probe order and codes through.
+  EXPECT_TRUE(plan.root_order().SortedWithCodes(2));
+}
+
+TEST_F(PlannerTest, SortedProbeOverUnsortedBuildSortsOnlyTheBuildByDefault) {
+  auto logical =
+      PlanBuilder::Scan(BTreeSource("l", &tree_))
+          .Join(PlanBuilder::Scan(BufferSource("r", &schema_, &table_)),
+                JoinType::kInner)
+          .Build();
+  // Robust default: no residency assumption, so the unsorted build side is
+  // sorted (spilling gracefully) and the probe's order is reused as-is.
+  PhysicalPlan plan = Plan(logical.get());
+
+  EXPECT_TRUE(plan.Uses(PhysicalAlg::kMergeJoin));
+  EXPECT_FALSE(plan.Uses(PhysicalAlg::kOrderPreservingHashJoin));
+  EXPECT_FALSE(plan.Uses(PhysicalAlg::kGraceHashJoin));
+  EXPECT_EQ(plan.inserted_sorts(), 1u);  // only the build side
+  EXPECT_TRUE(plan.root_order().SortedWithCodes(2));
+}
+
+TEST_F(PlannerTest, PreferSortBasedInsertsSortsForMergeJoin) {
+  auto logical =
+      PlanBuilder::Scan(BufferSource("l", &schema_, &table_))
+          .Join(PlanBuilder::Scan(BufferSource("r", &schema_, &table_)),
+                JoinType::kInner)
+          .Build();
+  PlannerOptions options;
+  options.prefer_sort_based = true;
+  PhysicalPlan plan = Plan(logical.get(), options);
+
+  EXPECT_TRUE(plan.Uses(PhysicalAlg::kMergeJoin));
+  EXPECT_EQ(plan.inserted_sorts(), 2u);
+  EXPECT_TRUE(plan.root_order().SortedWithCodes(2));
+}
+
+TEST_F(PlannerTest, FullOuterJoinHasNoHashFallback) {
+  auto logical =
+      PlanBuilder::Scan(BufferSource("l", &schema_, &table_))
+          .Join(PlanBuilder::Scan(BufferSource("r", &schema_, &table_)),
+                JoinType::kFullOuter)
+          .Build();
+  PhysicalPlan plan = Plan(logical.get());
+
+  EXPECT_TRUE(plan.Uses(PhysicalAlg::kMergeJoin));
+  EXPECT_EQ(plan.inserted_sorts(), 2u);
+}
+
+TEST_F(PlannerTest, AggregateStreamsOverSortedInput) {
+  auto logical = PlanBuilder::Scan(BTreeSource("bt", &tree_))
+                     .Aggregate(1, {{AggFn::kCount, 0}})
+                     .Build();
+  PhysicalPlan plan = Plan(logical.get());
+
+  EXPECT_TRUE(plan.Uses(PhysicalAlg::kInStreamAggregate));
+  EXPECT_EQ(plan.inserted_sorts(), 0u);
+  EXPECT_EQ(plan.root_order(), OrderProperty::Sorted(1, true));
+}
+
+TEST_F(PlannerTest, AggregateHashesOverUnsortedInputWithoutOrderInterest) {
+  auto logical = PlanBuilder::Scan(BufferSource("t", &schema_, &table_))
+                     .Aggregate(1, {{AggFn::kCount, 0}})
+                     .Build();
+  PhysicalPlan plan = Plan(logical.get());
+
+  EXPECT_TRUE(plan.Uses(PhysicalAlg::kHashAggregate));
+  EXPECT_EQ(plan.root_order(), OrderProperty::Unsorted());
+}
+
+TEST_F(PlannerTest, InterestingOrderSwitchesAggregateToInSort) {
+  // Distinct above wants order + codes, so the aggregation below absorbs
+  // the disorder itself instead of hashing -- no explicit sort anywhere.
+  auto logical = PlanBuilder::Scan(BufferSource("t", &schema_, &table_))
+                     .Aggregate(1, {{AggFn::kCount, 0}})
+                     .Distinct()
+                     .Build();
+  PhysicalPlan plan = Plan(logical.get());
+
+  EXPECT_TRUE(plan.Uses(PhysicalAlg::kInSortAggregate));
+  EXPECT_TRUE(plan.Uses(PhysicalAlg::kDedup));
+  EXPECT_FALSE(plan.Uses(PhysicalAlg::kSort));
+  EXPECT_EQ(plan.inserted_sorts(), 0u);
+  EXPECT_TRUE(plan.root_order().SortedWithCodes(1));
+}
+
+TEST_F(PlannerTest, DistinctUsesCodeOnlyDedupOverSortedInput) {
+  auto logical =
+      PlanBuilder::Scan(BTreeSource("bt", &tree_)).Distinct().Build();
+  PhysicalPlan plan = Plan(logical.get());
+
+  EXPECT_TRUE(plan.Uses(PhysicalAlg::kDedup));
+  EXPECT_EQ(plan.inserted_sorts(), 0u);
+}
+
+TEST_F(PlannerTest, DistinctHashesOverUnsortedKeyOnlyInput) {
+  auto logical =
+      PlanBuilder::Scan(BufferSource("t", &key_schema_, &key_table_))
+          .Distinct()
+          .Build();
+  PhysicalPlan plan = Plan(logical.get());
+  EXPECT_TRUE(plan.Uses(PhysicalAlg::kHashDistinct));
+
+  PlannerOptions options;
+  options.prefer_sort_based = true;
+  PhysicalPlan sort_plan = Plan(logical.get(), options);
+  EXPECT_TRUE(sort_plan.Uses(PhysicalAlg::kInSortDistinct));
+  EXPECT_TRUE(sort_plan.root_order().SortedWithCodes(2));
+}
+
+TEST_F(PlannerTest, DistinctWithPayloadsSortsThenDedups) {
+  auto logical = PlanBuilder::Scan(BufferSource("t", &schema_, &table_))
+                     .Distinct()
+                     .Build();
+  PhysicalPlan plan = Plan(logical.get());
+
+  EXPECT_TRUE(plan.Uses(PhysicalAlg::kDedup));
+  EXPECT_EQ(plan.inserted_sorts(), 1u);
+}
+
+TEST_F(PlannerTest, SetOpInsertsSortsOnlyWhereNeeded) {
+  BTree key_tree(&key_schema_, &counters_);
+  for (size_t i = 0; i < key_table_.size(); ++i) {
+    key_tree.Insert(key_table_.row(i));
+  }
+  auto logical =
+      PlanBuilder::Scan(BTreeSource("l", &key_tree))
+          .SetOp(PlanBuilder::Scan(BufferSource("r", &key_schema_,
+                                                &key_table_)),
+                 SetOpType::kIntersect, /*all=*/false)
+          .Build();
+  PhysicalPlan plan = Plan(logical.get());
+
+  EXPECT_TRUE(plan.Uses(PhysicalAlg::kSetOperation));
+  EXPECT_EQ(plan.inserted_sorts(), 1u);  // only the buffer side
+  EXPECT_TRUE(plan.root_order().SortedWithCodes(2));
+}
+
+TEST_F(PlannerTest, RequirementAnnotationsFollowInterestingOrders) {
+  auto logical = PlanBuilder::Scan(BufferSource("t", &schema_, &table_))
+                     .Filter([](const uint64_t*) { return true; })
+                     .Aggregate(1, {{AggFn::kCount, 0}})
+                     .Distinct()
+                     .Build();
+  plan::InferOrderRequirements(logical.get());
+
+  const LogicalNode* distinct = logical.get();
+  const LogicalNode* aggregate = distinct->children[0].get();
+  const LogicalNode* filter = aggregate->children[0].get();
+  const LogicalNode* scan = filter->children[0].get();
+
+  // Distinct wants its child sorted with codes on the aggregate's full key.
+  EXPECT_EQ(aggregate->required.prefix, 1u);
+  EXPECT_TRUE(aggregate->required.needs_ovc);
+  // The aggregation wants its child ordered on the grouping prefix, and
+  // the filter passes that wish through to the scan.
+  EXPECT_EQ(filter->required.prefix, 1u);
+  EXPECT_EQ(scan->required.prefix, 1u);
+}
+
+TEST_F(PlannerTest, InferenceMatchesConstructedPlans) {
+  auto make_plans = [&](PlannerOptions options) {
+    std::vector<std::unique_ptr<LogicalNode>> plans;
+    plans.push_back(
+        PlanBuilder::Scan(BufferSource("t", &schema_, &table_)).Sort().Build());
+    plans.push_back(
+        PlanBuilder::Scan(BTreeSource("bt", &tree_)).Sort().Build());
+    plans.push_back(
+        PlanBuilder::Scan(BufferSource("l", &schema_, &table_))
+            .Join(PlanBuilder::Scan(BTreeSource("r", &tree_)),
+                  JoinType::kInner)
+            .Aggregate(1, {{AggFn::kSum, 2}})
+            .Distinct()
+            .Build());
+    plans.push_back(
+        PlanBuilder::Scan(BufferSource("t", &key_schema_, &key_table_))
+            .Distinct()
+            .TopK(10)
+            .Build());
+    for (auto& logical : plans) {
+      PhysicalPlan plan = Plan(logical.get(), options);
+      EXPECT_EQ(InferOrderProperty(*logical, options), plan.root_order())
+          << plan.ToString();
+    }
+  };
+  make_plans(PlannerOptions());
+  PlannerOptions sort_based;
+  sort_based.prefer_sort_based = true;
+  make_plans(sort_based);
+}
+
+TEST_F(PlannerTest, ExplainMentionsChosenAlgorithms) {
+  auto logical = PlanBuilder::Scan(BTreeSource("bt", &tree_))
+                     .Sort()
+                     .Aggregate(1, {{AggFn::kCount, 0}})
+                     .Build();
+  PhysicalPlan plan = Plan(logical.get());
+  const std::string text = plan.ToString();
+  EXPECT_NE(text.find("in-stream-aggregate"), std::string::npos) << text;
+  EXPECT_NE(text.find("elided-sort"), std::string::npos) << text;
+  EXPECT_NE(text.find("bt"), std::string::npos) << text;
+}
+
+}  // namespace
+}  // namespace ovc
