@@ -1,0 +1,78 @@
+#!/usr/bin/env bash
+# Runs the key benchmarks with --benchmark_format=json and aggregates all
+# results into a single JSON file (committed as BENCH_PR2.json at the repo
+# root for the benchmark trajectory).
+#
+# Usage:
+#   bench/run_benches.sh [-B build_dir] [-o out.json] [--smoke]
+#
+#   -B dir    build directory holding the bench binaries (default: build)
+#   -o file   aggregate output path (default: BENCH_PR2.json)
+#   --smoke   CI mode: tiny --benchmark_min_time so the binaries and this
+#             script are exercised end-to-end without burning CI minutes
+#
+# Benchmarks are built on demand if the binaries are missing.
+
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+BUILD_DIR=build
+OUT=BENCH_PR2.json
+MIN_TIME=0.5
+BENCHES=(bench_batch_pipeline bench_pq_merge bench_sort_ovc)
+
+while [[ $# -gt 0 ]]; do
+  case "$1" in
+    -B) BUILD_DIR=$2; shift 2 ;;
+    -o) OUT=$2; shift 2 ;;
+    --smoke) MIN_TIME=0.01; shift ;;
+    *) echo "unknown argument: $1" >&2; exit 2 ;;
+  esac
+done
+
+for bench in "${BENCHES[@]}"; do
+  if [[ ! -x "$BUILD_DIR/$bench" ]]; then
+    echo "== building $bench"
+    cmake --build "$BUILD_DIR" --target "$bench" -j "$(nproc)"
+  fi
+done
+
+tmpdir=$(mktemp -d)
+trap 'rm -rf "$tmpdir"' EXIT
+
+for bench in "${BENCHES[@]}"; do
+  echo "== running $bench (min_time=${MIN_TIME}s)"
+  "$BUILD_DIR/$bench" \
+    --benchmark_format=json \
+    --benchmark_min_time="$MIN_TIME" \
+    > "$tmpdir/$bench.json"
+done
+
+python3 - "$OUT" "$tmpdir" "${BENCHES[@]}" <<'PYEOF'
+import json
+import sys
+from datetime import datetime, timezone
+
+out_path, tmpdir, benches = sys.argv[1], sys.argv[2], sys.argv[3:]
+
+aggregate = {
+    "generated_utc": datetime.now(timezone.utc).strftime("%Y-%m-%dT%H:%M:%SZ"),
+    "context": None,
+    "benchmarks": [],
+}
+for bench in benches:
+    with open(f"{tmpdir}/{bench}.json") as f:
+        data = json.load(f)
+    if aggregate["context"] is None:
+        aggregate["context"] = data.get("context", {})
+    for entry in data.get("benchmarks", []):
+        entry = dict(entry)
+        entry["binary"] = bench
+        aggregate["benchmarks"].append(entry)
+
+with open(out_path, "w") as f:
+    json.dump(aggregate, f, indent=2, sort_keys=False)
+    f.write("\n")
+print(f"wrote {out_path} ({len(aggregate['benchmarks'])} benchmark entries)")
+PYEOF

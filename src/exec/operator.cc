@@ -2,12 +2,23 @@
 
 namespace ovc {
 
+uint32_t Operator::NextBatch(RowBlock* out) {
+  OVC_DCHECK(out->width() == schema().total_columns());
+  out->Clear();
+  RowRef ref;
+  while (!out->full() && Next(&ref)) {
+    out->Append(ref.cols, ref.ovc);
+  }
+  return out->size();
+}
+
 uint64_t DrainAndCount(Operator* op) {
   op->Open();
-  RowRef ref;
+  RowBlock block(op->schema().total_columns());
   uint64_t rows = 0;
-  while (op->Next(&ref)) {
-    ++rows;
+  uint32_t n;
+  while ((n = op->NextBatch(&block)) > 0) {
+    rows += n;
   }
   op->Close();
   return rows;

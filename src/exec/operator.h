@@ -22,6 +22,7 @@
 #include "core/ovc.h"
 #include "core/row_ref.h"
 #include "pq/loser_tree.h"
+#include "row/row_block.h"
 #include "row/schema.h"
 
 namespace ovc {
@@ -37,6 +38,21 @@ class Operator {
   /// Produces the next output row. The referenced columns stay valid until
   /// the following Next()/Close() call on this operator.
   virtual bool Next(RowRef* out) = 0;
+
+  /// Batched production: clears `out`, fills it with up to out->capacity()
+  /// rows of the stream, and returns the number of rows produced. A return
+  /// of 0 means end of stream; short (non-full) blocks mid-stream are
+  /// allowed. Rows and codes obey exactly the Next() stream contract -- in
+  /// particular, the first row of a block is coded relative to the last row
+  /// of the previous block, so the concatenation of blocks is the
+  /// row-at-a-time stream (see row/row_block.h). Block contents stay valid
+  /// until the following NextBatch()/Next()/Close() call on this operator.
+  ///
+  /// The default implementation loops Next() into `out`, so every operator
+  /// is batch-drainable; operators override it to amortize per-row virtual
+  /// dispatch. Callers must not interleave Next() and NextBatch() pulls on
+  /// the same operator within one execution.
+  virtual uint32_t NextBatch(RowBlock* out);
 
   /// Releases resources; the operator may be Open()ed again afterwards
   /// where the concrete class documents support for rescans.
@@ -54,7 +70,7 @@ class Operator {
 
 /// Adapts an Operator to the MergeSource interface used by sort-level
 /// machinery (mergers, segmented sort).
-class OperatorMergeSource : public MergeSource {
+class OperatorMergeSource final : public MergeSource {
  public:
   explicit OperatorMergeSource(Operator* op) : op_(op) {}
 

@@ -45,4 +45,34 @@ bool ProjectOperator::Next(RowRef* out) {
   return true;
 }
 
+uint32_t ProjectOperator::NextBatch(RowBlock* out) {
+  // The staging capacity must equal the caller's (a larger block would
+  // produce more rows than `out` holds); re-cap the existing allocation
+  // instead of reallocating when the caller's capacity moves.
+  if (in_block_ == nullptr || in_block_->allocated_rows() < out->capacity()) {
+    in_block_ = std::make_unique<RowBlock>(child_->schema().total_columns(),
+                                           out->capacity());
+  }
+  in_block_->Clear();
+  in_block_->SetCapacity(out->capacity());
+  const uint32_t n = child_->NextBatch(in_block_.get());
+  out->Clear();
+  if (n == 0) return 0;
+  const uint32_t out_width = static_cast<uint32_t>(mapping_.size());
+  const uint32_t out_arity = output_schema_.key_arity();
+  for (uint32_t i = 0; i < n; ++i) {
+    const uint64_t* src = in_block_->row(i);
+    const Ovc code =
+        order_preserving_
+            ? in_codec_.ClampToPrefix(in_block_->code(i), out_arity,
+                                      out_codec_)
+            : 0;
+    uint64_t* dst = out->AppendRow(code);
+    for (uint32_t c = 0; c < out_width; ++c) {
+      dst[c] = src[mapping_[c]];
+    }
+  }
+  return n;
+}
+
 }  // namespace ovc

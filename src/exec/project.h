@@ -14,6 +14,7 @@
 #ifndef OVC_EXEC_PROJECT_H_
 #define OVC_EXEC_PROJECT_H_
 
+#include <memory>
 #include <vector>
 
 #include "exec/operator.h"
@@ -32,6 +33,7 @@ class ProjectOperator : public Operator {
 
   void Open() override { child_->Open(); }
   bool Next(RowRef* out) override;
+  uint32_t NextBatch(RowBlock* out) override;
   void Close() override { child_->Close(); }
   const Schema& schema() const override { return output_schema_; }
   bool sorted() const override { return order_preserving_; }
@@ -45,6 +47,9 @@ class ProjectOperator : public Operator {
   OvcCodec in_codec_;
   OvcCodec out_codec_;
   std::vector<uint64_t> row_;
+  /// Child-width staging block for NextBatch (sized lazily to match the
+  /// consumer's block capacity).
+  std::unique_ptr<RowBlock> in_block_;
 };
 
 }  // namespace ovc

@@ -28,6 +28,18 @@ class BufferScan : public Operator {
     out->ovc = 0;
     return true;
   }
+  uint32_t NextBatch(RowBlock* out) override {
+    out->Clear();
+    const size_t avail = buffer_->size() - pos_;
+    const uint32_t n = static_cast<uint32_t>(
+        avail < out->capacity() ? avail : out->capacity());
+    if (n == 0) return 0;
+    // RowBuffer rows are contiguous and stable for the scan's lifetime:
+    // serve the span zero-copy (codes are all zero for an unsorted scan).
+    out->RefContiguous(buffer_->row(pos_), nullptr, n);
+    pos_ += n;
+    return n;
+  }
   void Close() override {}
   const Schema& schema() const override { return *schema_; }
   bool sorted() const override { return false; }
@@ -57,6 +69,21 @@ class RunScan : public Operator {
     out->ovc = run_->code(pos_);
     ++pos_;
     return true;
+  }
+  uint32_t NextBatch(RowBlock* out) override {
+    out->Clear();
+    const size_t avail = run_->size() - pos_;
+    const uint32_t n = static_cast<uint32_t>(
+        avail < out->capacity() ? avail : out->capacity());
+    if (n == 0) return 0;
+    // Rows and codes are contiguous in the run and stable: serve the span
+    // zero-copy. The stored codes are already relative to each row's
+    // predecessor, so they carry over unchanged -- including the first row
+    // of this block, whose predecessor was the last row of the previous
+    // block.
+    out->RefContiguous(run_->row(pos_), run_->codes() + pos_, n);
+    pos_ += n;
+    return n;
   }
   void Close() override {}
   const Schema& schema() const override { return *schema_; }

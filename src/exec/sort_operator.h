@@ -26,14 +26,18 @@ class SortOperator : public Operator {
     child_->Open();
     sort_ = std::make_unique<ExternalSort>(&child_->schema(), counters_, temp_,
                                            config_);
-    RowRef ref;
-    while (child_->Next(&ref)) {
-      sort_->Add(ref.cols);
+    // Batched intake: drain the child block-wise so run generation's memory
+    // buffer fills with bulk copies instead of per-row virtual pulls.
+    RowBlock block(child_->schema().total_columns());
+    while (child_->NextBatch(&block) > 0) {
+      sort_->AddBlock(block);
     }
     OVC_CHECK_OK(sort_->Finish());
   }
 
   bool Next(RowRef* out) override { return sort_->Next(out); }
+
+  uint32_t NextBatch(RowBlock* out) override { return sort_->NextBlock(out); }
 
   void Close() override {
     if (sort_ != nullptr) {

@@ -98,11 +98,13 @@ PlanBuilder PlanBuilder::Scan(TableSource source) {
   return PlanBuilder(std::move(node));
 }
 
-PlanBuilder& PlanBuilder::Filter(RowPredicate predicate) {
+PlanBuilder& PlanBuilder::Filter(RowPredicate predicate,
+                                 BlockPredicate block_predicate) {
   OVC_CHECK(root_ != nullptr);
   OVC_CHECK(predicate != nullptr);
   auto node = std::make_unique<LogicalNode>(LogicalOp::kFilter, root_->schema);
   node->predicate = std::move(predicate);
+  node->block_predicate = std::move(block_predicate);
   node->children.push_back(std::move(root_));
   root_ = std::move(node);
   return *this;

@@ -95,6 +95,7 @@ struct LogicalNode {
   // --- per-operation payload ---
   TableSource source;                    // kScan
   RowPredicate predicate;                // kFilter
+  BlockPredicate block_predicate;        // kFilter (optional fast path)
   std::vector<uint32_t> mapping;         // kProject
   JoinType join_type = JoinType::kInner; // kJoin (key = children's key prefix)
   uint32_t group_prefix = 0;             // kAggregate
@@ -122,7 +123,10 @@ class PlanBuilder {
   static PlanBuilder Scan(TableSource source);
 
   /// Keeps rows satisfying `predicate` (order- and code-preserving).
-  PlanBuilder& Filter(RowPredicate predicate);
+  /// `block_predicate`, when supplied, must agree with `predicate` row for
+  /// row; batched execution then evaluates it once per block.
+  PlanBuilder& Filter(RowPredicate predicate,
+                      BlockPredicate block_predicate = nullptr);
 
   /// Projects to `output_schema`; output column i takes input column
   /// `mapping[i]`. Order survives when the mapping keeps a key prefix in

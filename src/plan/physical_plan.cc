@@ -397,9 +397,8 @@ Planner::Built Planner::BuildNode(LogicalNode* node, PhysicalPlan* plan,
 
     case LogicalOp::kFilter: {
       Built child = BuildNode(node->children[0].get(), plan, depth + 1);
-      result.op =
-          plan->Own(std::make_unique<FilterOperator>(child.op,
-                                                     node->predicate));
+      result.op = plan->Own(std::make_unique<FilterOperator>(
+          child.op, node->predicate, node->block_predicate));
       result.prop = FilterOutput(child.prop);
       plan->algorithms_.push_back(PhysicalAlg::kFilter);
       explain = ExplainLine(PhysicalAlg::kFilter, result.prop, "") +

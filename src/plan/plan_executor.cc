@@ -33,11 +33,20 @@ ExecutionResult PlanExecutor::Run(PhysicalPlan* plan) {
       plan->root_order().SortedWithCodes(root->schema().key_arity());
   OvcStreamChecker checker(&root->schema());
 
+  // Drain the root block-wise: one virtual NextBatch per block instead of
+  // one virtual Next per row, with bulk appends into the result buffer.
+  // Validation still observes every row in stream order, so it checks the
+  // sorted-with-codes contract across block boundaries too.
   root->Open();
-  RowRef ref;
-  while (root->Next(&ref)) {
-    if (validate) checker.Observe(ref.cols, ref.ovc);
-    result.rows.AppendRow(ref.cols);
+  RowBlock block(root->schema().total_columns(), options_.batch_rows);
+  uint32_t n;
+  while ((n = root->NextBatch(&block)) > 0) {
+    if (validate) {
+      for (uint32_t i = 0; i < n; ++i) {
+        checker.Observe(block.row(i), block.code(i));
+      }
+    }
+    result.rows.AppendRows(block.data(), n);
   }
   root->Close();
 

@@ -55,6 +55,10 @@ class PlanExecutor {
     /// Abort (OVC_CHECK) on a validation violation instead of only
     /// recording it in the result.
     bool abort_on_violation = true;
+    /// Rows per block when draining the root operator through NextBatch.
+    /// Tests shrink this to force many block boundaries; validation still
+    /// observes every row, so it proves codes stay correct across blocks.
+    uint32_t batch_rows = RowBlock::kDefaultRows;
   };
 
   /// `counters` (optional) and `temp` must outlive the executor.

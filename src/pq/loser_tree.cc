@@ -4,105 +4,8 @@
 
 namespace ovc {
 
-OvcMerger::OvcMerger(const OvcCodec* codec, const KeyComparator* comparator,
-                     std::vector<MergeSource*> sources, Options options)
-    : codec_(codec),
-      comparator_(comparator),
-      sources_(std::move(sources)),
-      options_(options) {
-  OVC_CHECK(!sources_.empty());
-  capacity_ = CeilToPowerOfTwo(static_cast<uint32_t>(sources_.size()));
-  nodes_.assign(capacity_, Entry{OvcCodec::LateFence(), 0});
-  rows_.assign(capacity_, nullptr);
-}
-
-OvcMerger::Entry OvcMerger::LeafEntry(uint32_t slot) {
-  if (slot >= sources_.size()) {
-    // Padding slot beyond the real fan-in: permanently exhausted.
-    return Entry{OvcCodec::LateFence(), slot};
-  }
-  return FetchSuccessor(slot);
-}
-
-OvcMerger::Entry OvcMerger::FetchSuccessor(uint32_t slot) {
-  const uint64_t* row = nullptr;
-  Ovc code = 0;
-  if (!sources_[slot]->Next(&row, &code)) {
-    rows_[slot] = nullptr;
-    return Entry{OvcCodec::LateFence(), slot};
-  }
-  OVC_DCHECK(OvcCodec::IsValid(code));
-  rows_[slot] = row;
-  return Entry{code, slot};
-}
-
-OvcMerger::Entry OvcMerger::PlayMatch(uint32_t node, Entry a, Entry b) {
-  const int cmp = CompareWithOvc(*codec_, *comparator_, rows_[a.slot], &a.code,
-                                 rows_[b.slot], &b.code);
-  Entry winner, loser;
-  if (cmp < 0 || (cmp == 0 && a.slot < b.slot)) {
-    winner = a;
-    loser = b;
-  } else {
-    winner = b;
-    loser = a;
-  }
-  if (cmp == 0 && OvcCodec::IsValid(loser.code)) {
-    // Equal keys: the loser is a full-key duplicate of the winner.
-    loser.code = codec_->DuplicateCode();
-  }
-  nodes_[node] = loser;
-  return winner;
-}
-
-OvcMerger::Entry OvcMerger::BuildWinner(uint32_t node) {
-  if (node >= capacity_) {
-    return LeafEntry(node - capacity_);
-  }
-  Entry a = BuildWinner(2 * node);
-  Entry b = BuildWinner(2 * node + 1);
-  return PlayMatch(node, a, b);
-}
-
-void OvcMerger::Advance() {
-  const uint32_t slot = winner_.slot;
-  Entry cand = FetchSuccessor(slot);
-  if (options_.duplicate_bypass && codec_->IsDuplicate(cand.code)) {
-    // Section 5: the successor equals the row just emitted; no key in the
-    // tree can sort earlier, so it goes straight to the output. All parked
-    // codes stay valid because the new base has the same sort key.
-    if (comparator_->counters() != nullptr) {
-      ++comparator_->counters()->merge_bypass_rows;
-    }
-    winner_ = cand;
-    return;
-  }
-  uint32_t node = (capacity_ + slot) >> 1;
-  while (node >= 1) {
-    cand = PlayMatch(node, cand, nodes_[node]);
-    node >>= 1;
-  }
-  winner_ = cand;
-}
-
-bool OvcMerger::Next(RowRef* out) {
-  if (!started_) {
-    started_ = true;
-    if (capacity_ == 1) {
-      winner_ = LeafEntry(0);
-    } else {
-      winner_ = BuildWinner(1);
-    }
-  } else {
-    Advance();
-  }
-  if (!OvcCodec::IsValid(winner_.code)) {
-    return false;
-  }
-  out->cols = rows_[winner_.slot];
-  out->ovc = winner_.code;
-  return true;
-}
+// OvcMergerT (the merge half of this header's machinery) is a template and
+// lives entirely in loser_tree.h; this translation unit holds PqSorter.
 
 PqSorter::PqSorter(const OvcCodec* codec, const KeyComparator* comparator)
     : codec_(codec), comparator_(comparator) {}

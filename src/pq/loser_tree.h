@@ -30,10 +30,12 @@
 #include <cstdint>
 #include <vector>
 
+#include "common/bits.h"
 #include "core/ovc.h"
 #include "core/ovc_compare.h"
 #include "core/row_ref.h"
 #include "row/comparator.h"
+#include "row/row_block.h"
 
 namespace ovc {
 
@@ -50,7 +52,17 @@ class MergeSource {
 };
 
 /// Merges F sorted OVC streams into one sorted OVC stream.
-class OvcMerger {
+///
+/// `Source` is the concrete input type; it only needs
+/// `bool Next(const uint64_t**, Ovc*)`. With `Source = MergeSource` (the
+/// `OvcMerger` alias below) inputs are pulled through a virtual call, which
+/// is what heterogeneous merges (exchange, LSM forests) need. Instantiated
+/// over a `final` concrete source (InMemoryRunSource, RunFileReader) the
+/// compiler devirtualizes and inlines the per-row refill into the tournament
+/// loop -- the hot path of every external-sort merge -- so the inner loop
+/// carries no indirect calls at all.
+template <typename Source>
+class OvcMergerT {
  public:
   struct Options {
     /// Section 5 fast path: when the next row from the winner's input
@@ -64,13 +76,54 @@ class OvcMerger {
 
   /// `codec` and `comparator` must outlive the merger; `sources` are
   /// borrowed. At least one source is required.
-  OvcMerger(const OvcCodec* codec, const KeyComparator* comparator,
-            std::vector<MergeSource*> sources, Options options = Options());
+  OvcMergerT(const OvcCodec* codec, const KeyComparator* comparator,
+             std::vector<Source*> sources, Options options = Options())
+      : codec_(codec),
+        comparator_(comparator),
+        sources_(std::move(sources)),
+        options_(options) {
+    OVC_CHECK(!sources_.empty());
+    capacity_ = CeilToPowerOfTwo(static_cast<uint32_t>(sources_.size()));
+    nodes_.assign(capacity_, Entry{OvcCodec::LateFence(), 0});
+    rows_.assign(capacity_, nullptr);
+  }
 
   /// Produces the next merged row; its code is relative to the previously
   /// produced row. Returns false when all inputs are exhausted. The row
   /// pointer stays valid until the next Next()/destruction.
-  bool Next(RowRef* out);
+  bool Next(RowRef* out) {
+    if (!started_) {
+      started_ = true;
+      if (capacity_ == 1) {
+        winner_ = LeafEntry(0);
+      } else {
+        winner_ = BuildWinner(1);
+      }
+    } else {
+      Advance();
+    }
+    if (!OvcCodec::IsValid(winner_.code)) {
+      return false;
+    }
+    out->cols = rows_[winner_.slot];
+    out->ovc = winner_.code;
+    return true;
+  }
+
+  /// Block-sized output: clears `out` and fills it with up to
+  /// out->capacity() merged rows (copied out of the sources' buffers), so a
+  /// consumer takes whole blocks between tournament refills. Codes follow
+  /// the stream contract across block boundaries (the first row of a block
+  /// is coded relative to the last row of the previous block). Returns the
+  /// number of rows produced; 0 means all inputs are exhausted.
+  uint32_t NextBlock(RowBlock* out) {
+    out->Clear();
+    RowRef ref;
+    while (!out->full() && Next(&ref)) {
+      out->Append(ref.cols, ref.ovc);
+    }
+    return out->size();
+  }
 
   /// Number of inputs merged.
   uint32_t fan_in() const { return static_cast<uint32_t>(sources_.size()); }
@@ -81,16 +134,79 @@ class OvcMerger {
     uint32_t slot;
   };
 
-  Entry LeafEntry(uint32_t slot);
-  Entry FetchSuccessor(uint32_t slot);
-  Entry BuildWinner(uint32_t node);
-  void Advance();
+  Entry LeafEntry(uint32_t slot) {
+    if (slot >= sources_.size()) {
+      // Padding slot beyond the real fan-in: permanently exhausted.
+      return Entry{OvcCodec::LateFence(), slot};
+    }
+    return FetchSuccessor(slot);
+  }
+
+  Entry FetchSuccessor(uint32_t slot) {
+    const uint64_t* row = nullptr;
+    Ovc code = 0;
+    if (!sources_[slot]->Next(&row, &code)) {
+      rows_[slot] = nullptr;
+      return Entry{OvcCodec::LateFence(), slot};
+    }
+    OVC_DCHECK(OvcCodec::IsValid(code));
+    rows_[slot] = row;
+    return Entry{code, slot};
+  }
+
+  Entry BuildWinner(uint32_t node) {
+    if (node >= capacity_) {
+      return LeafEntry(node - capacity_);
+    }
+    Entry a = BuildWinner(2 * node);
+    Entry b = BuildWinner(2 * node + 1);
+    return PlayMatch(node, a, b);
+  }
+
+  void Advance() {
+    const uint32_t slot = winner_.slot;
+    Entry cand = FetchSuccessor(slot);
+    if (options_.duplicate_bypass && codec_->IsDuplicate(cand.code)) {
+      // Section 5: the successor equals the row just emitted; no key in the
+      // tree can sort earlier, so it goes straight to the output. All parked
+      // codes stay valid because the new base has the same sort key.
+      if (comparator_->counters() != nullptr) {
+        ++comparator_->counters()->merge_bypass_rows;
+      }
+      winner_ = cand;
+      return;
+    }
+    uint32_t node = (capacity_ + slot) >> 1;
+    while (node >= 1) {
+      cand = PlayMatch(node, cand, nodes_[node]);
+      node >>= 1;
+    }
+    winner_ = cand;
+  }
+
   /// Plays one match: returns the winner, parks the loser at nodes_[node].
-  Entry PlayMatch(uint32_t node, Entry a, Entry b);
+  Entry PlayMatch(uint32_t node, Entry a, Entry b) {
+    const int cmp = CompareWithOvc(*codec_, *comparator_, rows_[a.slot],
+                                   &a.code, rows_[b.slot], &b.code);
+    Entry winner, loser;
+    if (cmp < 0 || (cmp == 0 && a.slot < b.slot)) {
+      winner = a;
+      loser = b;
+    } else {
+      winner = b;
+      loser = a;
+    }
+    if (cmp == 0 && OvcCodec::IsValid(loser.code)) {
+      // Equal keys: the loser is a full-key duplicate of the winner.
+      loser.code = codec_->DuplicateCode();
+    }
+    nodes_[node] = loser;
+    return winner;
+  }
 
   const OvcCodec* codec_;
   const KeyComparator* comparator_;
-  std::vector<MergeSource*> sources_;
+  std::vector<Source*> sources_;
   Options options_;
 
   uint32_t capacity_ = 0;                 // padded power of two
@@ -99,6 +215,9 @@ class OvcMerger {
   Entry winner_{OvcCodec::LateFence(), 0};
   bool started_ = false;
 };
+
+/// The polymorphic merger: inputs pulled through the MergeSource vtable.
+using OvcMerger = OvcMergerT<MergeSource>;
 
 /// Sorts a batch of rows by building a tree of single-row runs and tearing
 /// it down. Produces output codes as a byproduct of the sort.

@@ -22,15 +22,30 @@ class RowBuffer {
   explicit RowBuffer(uint32_t width) : width_(width) { OVC_CHECK(width >= 1); }
 
   /// Appends an uninitialized row and returns a pointer to its columns.
+  /// Growth is amortized: capacity at least doubles on reallocation, so a
+  /// row-at-a-time fill is O(n) total regardless of the standard library's
+  /// resize() policy.
   uint64_t* AppendRow() {
-    data_.resize(data_.size() + width_);
-    return data_.data() + data_.size() - width_;
+    const size_t needed = data_.size() + width_;
+    if (needed > data_.capacity()) Grow(needed);
+    data_.resize(needed);
+    return data_.data() + needed - width_;
   }
 
   /// Appends a copy of `src` (width_ columns).
   void AppendRow(const uint64_t* src) {
     uint64_t* dst = AppendRow();
     std::memcpy(dst, src, width_ * sizeof(uint64_t));
+  }
+
+  /// Bulk-appends `rows` contiguous rows starting at `src` (rows * width_
+  /// values): one growth check and one memcpy for the whole batch.
+  void AppendRows(const uint64_t* src, size_t rows) {
+    const size_t add = rows * width_;
+    const size_t needed = data_.size() + add;
+    if (needed > data_.capacity()) Grow(needed);
+    data_.resize(needed);
+    std::memcpy(data_.data() + needed - add, src, add * sizeof(uint64_t));
   }
 
   /// Read-only access to row `i`.
@@ -62,6 +77,16 @@ class RowBuffer {
   size_t MemoryBytes() const { return data_.capacity() * sizeof(uint64_t); }
 
  private:
+  /// Reserves at least `needed` values, at least doubling capacity and
+  /// starting at a few rows so tiny buffers don't reallocate per append.
+  void Grow(size_t needed) {
+    size_t target = data_.capacity() * 2;
+    if (target < needed) target = needed;
+    const size_t floor = size_t{16} * width_;
+    if (target < floor) target = floor;
+    data_.reserve(target);
+  }
+
   uint32_t width_;
   std::vector<uint64_t> data_;
 };

@@ -64,6 +64,29 @@ void ExternalSort::Add(const uint64_t* row) {
   }
 }
 
+void ExternalSort::AddBlock(const RowBlock& block) {
+  OVC_CHECK(!finished_);
+  if (rs_ != nullptr) {
+    // Replacement selection is inherently row-at-a-time (each row plays one
+    // tournament match on entry).
+    for (uint32_t i = 0; i < block.size(); ++i) {
+      OVC_CHECK_OK(rs_->Add(block.row(i)));
+    }
+    return;
+  }
+  uint32_t taken = 0;
+  while (taken < block.size()) {
+    const uint64_t room = config_.memory_rows - buffer_.size();
+    const uint32_t n = static_cast<uint32_t>(
+        std::min<uint64_t>(room, block.size() - taken));
+    buffer_.AppendRows(block.row(taken), n);
+    taken += n;
+    if (buffer_.size() >= config_.memory_rows) {
+      OVC_CHECK_OK(SpillBuffer());
+    }
+  }
+}
+
 Status ExternalSort::SpillBuffer() {
   if (buffer_.empty()) return Status::Ok();
   BatchSorter sorter(schema_, counters_, config_.run_gen,
@@ -96,6 +119,7 @@ Status ExternalSort::Finish() {
   if (runs_.empty()) {
     // Input fits in memory: sort and serve without spilling.
     memory_run_ = std::make_unique<InMemoryRun>(schema_->total_columns());
+    memory_run_->Reserve(buffer_.size());
     BatchSorter sorter(schema_, counters_, config_.run_gen,
                        config_.mini_run_rows, config_.use_ovc,
                        config_.naive_output_codes);
@@ -123,7 +147,7 @@ Status ExternalSort::PrepareMerge(std::vector<SpilledRun> runs) {
         continue;
       }
       std::vector<std::unique_ptr<RunFileReader>> readers;
-      std::vector<MergeSource*> sources;
+      std::vector<RunFileReader*> sources;
       for (size_t i = 0; i < count; ++i) {
         readers.push_back(std::make_unique<RunFileReader>(schema_));
         OVC_RETURN_IF_ERROR(readers.back()->Open(runs[begin + i].path));
@@ -134,14 +158,17 @@ Status ExternalSort::PrepareMerge(std::vector<SpilledRun> runs) {
       OVC_RETURN_IF_ERROR(writer.Open(path));
       RowRef ref;
       if (config_.use_ovc) {
-        OvcMerger::Options options;
+        OvcMergerT<RunFileReader>::Options options;
         options.duplicate_bypass = config_.duplicate_bypass;
-        OvcMerger merger(&codec_, &comparator_, sources, options);
+        OvcMergerT<RunFileReader> merger(&codec_, &comparator_, sources,
+                                         options);
         while (merger.Next(&ref)) {
           OVC_RETURN_IF_ERROR(writer.Append(ref.cols, ref.ovc));
         }
       } else {
-        PlainMerger merger(&codec_, &comparator_, sources);
+        std::vector<MergeSource*> plain_sources(sources.begin(),
+                                                sources.end());
+        PlainMerger merger(&codec_, &comparator_, plain_sources);
         while (merger.Next(&ref)) {
           OVC_RETURN_IF_ERROR(
               writer.Append(ref.cols, codec_.MakeFromRow(ref.cols, 0)));
@@ -153,23 +180,24 @@ Status ExternalSort::PrepareMerge(std::vector<SpilledRun> runs) {
     runs = std::move(next_level);
   }
 
-  // Final merge, served incrementally through Next().
-  std::vector<MergeSource*> sources;
+  // Final merge, served incrementally through Next()/NextBlock().
+  std::vector<RunFileReader*> sources;
   for (const SpilledRun& run : runs) {
     readers_.push_back(std::make_unique<RunFileReader>(schema_));
     OVC_RETURN_IF_ERROR(readers_.back()->Open(run.path));
     sources.push_back(readers_.back().get());
   }
   if (config_.use_ovc) {
-    OvcMerger::Options options;
+    OvcMergerT<RunFileReader>::Options options;
     options.duplicate_bypass = config_.duplicate_bypass;
-    merger_ = std::make_unique<OvcMerger>(&codec_, &comparator_, sources,
-                                          options);
+    merger_ = std::make_unique<OvcMergerT<RunFileReader>>(
+        &codec_, &comparator_, sources, options);
   } else {
+    std::vector<MergeSource*> plain_sources(sources.begin(), sources.end());
     PlainMerger::Options options;
     options.derive_output_codes = config_.naive_output_codes;
     plain_merger_ = std::make_unique<PlainMerger>(&codec_, &comparator_,
-                                                  sources, options);
+                                                  plain_sources, options);
   }
   return Status::Ok();
 }
@@ -191,6 +219,33 @@ bool ExternalSort::Next(RowRef* out) {
     return plain_merger_->Next(out);
   }
   return false;  // empty input
+}
+
+uint32_t ExternalSort::NextBlock(RowBlock* out) {
+  OVC_CHECK(finished_);
+  out->Clear();
+  if (memory_source_ != nullptr) {
+    // In-memory result: serve contiguous spans straight from the run,
+    // zero-copy (the run is stable until the sort is destroyed).
+    const uint64_t* rows = nullptr;
+    const Ovc* codes = nullptr;
+    const uint32_t n = memory_source_->NextSpan(&rows, &codes,
+                                                out->capacity());
+    if (n == 0) return 0;
+    out->RefContiguous(rows, codes, n);
+    return n;
+  }
+  if (merger_ != nullptr) {
+    return merger_->NextBlock(out);
+  }
+  if (plain_merger_ != nullptr) {
+    RowRef ref;
+    while (!out->full() && plain_merger_->Next(&ref)) {
+      out->Append(ref.cols, ref.ovc);
+    }
+    return out->size();
+  }
+  return 0;  // empty input
 }
 
 }  // namespace ovc

@@ -20,6 +20,7 @@
 #include "core/row_ref.h"
 #include "pq/loser_tree.h"
 #include "pq/plain_loser_tree.h"
+#include "row/row_block.h"
 #include "row/row_buffer.h"
 #include "sort/run.h"
 #include "sort/run_file.h"
@@ -63,12 +64,23 @@ class ExternalSort {
   /// Adds one input row (copied).
   void Add(const uint64_t* row);
 
+  /// Adds a whole block of input rows: one amortized-growth bulk copy per
+  /// memory-buffer stretch instead of a per-row append, splitting at the
+  /// memory_rows spill boundary exactly like row-at-a-time Add().
+  void AddBlock(const RowBlock& block);
+
   /// Ends the input; sorts/spills what remains and prepares the output.
   Status Finish();
 
   /// Produces the next output row in sort order with its code. Valid only
   /// after Finish().
   bool Next(RowRef* out);
+
+  /// Block-sized output: fills `out` with up to out->capacity() sorted rows
+  /// (codes follow the stream contract across block boundaries). Returns
+  /// the row count, 0 at end. Valid only after Finish(); do not interleave
+  /// with Next().
+  uint32_t NextBlock(RowBlock* out);
 
   /// Number of runs spilled to temporary storage (0 for in-memory sorts).
   uint64_t spilled_runs() const { return spilled_runs_; }
@@ -94,11 +106,13 @@ class ExternalSort {
   uint32_t merge_levels_ = 0;
   bool finished_ = false;
 
-  // Output plumbing: exactly one of these serves Next().
+  // Output plumbing: exactly one of these serves Next(). The final OVC
+  // merge runs over concrete RunFileReader sources so the tournament's
+  // refill calls devirtualize (see pq/loser_tree.h).
   std::unique_ptr<InMemoryRun> memory_run_;
   std::unique_ptr<InMemoryRunSource> memory_source_;
   std::vector<std::unique_ptr<RunFileReader>> readers_;
-  std::unique_ptr<OvcMerger> merger_;
+  std::unique_ptr<OvcMergerT<RunFileReader>> merger_;
   std::unique_ptr<PlainMerger> plain_merger_;
 };
 

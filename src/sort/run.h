@@ -29,6 +29,8 @@ class InMemoryRun {
   bool empty() const { return rows_.empty(); }
   const uint64_t* row(size_t i) const { return rows_.row(i); }
   Ovc code(size_t i) const { return codes_[i]; }
+  /// Contiguous code storage (size() values), parallel to the rows.
+  const Ovc* codes() const { return codes_.data(); }
   uint32_t width() const { return rows_.width(); }
 
   void Clear() {
@@ -49,7 +51,9 @@ class InMemoryRun {
 };
 
 /// MergeSource view over an InMemoryRun. The run must outlive the source.
-class InMemoryRunSource : public MergeSource {
+/// `final` so that OvcMergerT<InMemoryRunSource> devirtualizes Next() in the
+/// merge inner loop.
+class InMemoryRunSource final : public MergeSource {
  public:
   explicit InMemoryRunSource(const InMemoryRun* run) : run_(run) {}
 
@@ -59,6 +63,23 @@ class InMemoryRunSource : public MergeSource {
     *code = run_->code(pos_);
     ++pos_;
     return true;
+  }
+
+  /// Bulk variant: exposes up to `max_rows` contiguous rows (and their
+  /// codes) starting at the current position and advances past them.
+  /// Returns the span length; 0 at end of input. Shares the cursor with
+  /// Next(), so callers may not interleave the two arbitrarily mid-stream
+  /// (a span consumes all its rows at once).
+  uint32_t NextSpan(const uint64_t** rows, const Ovc** codes,
+                    uint32_t max_rows) {
+    const size_t avail = run_->size() - pos_;
+    const uint32_t n =
+        static_cast<uint32_t>(avail < max_rows ? avail : max_rows);
+    if (n == 0) return 0;
+    *rows = run_->row(pos_);
+    *codes = run_->codes() + pos_;
+    pos_ += n;
+    return n;
   }
 
   /// Restarts the scan from the beginning.

@@ -56,8 +56,10 @@ class RunFileWriter {
 };
 
 /// Reads a prefix-truncated run file back as a MergeSource: rows come out
-/// with their offset-value codes, at zero column-comparison cost.
-class RunFileReader : public MergeSource {
+/// with their offset-value codes, at zero column-comparison cost. `final`
+/// so that OvcMergerT<RunFileReader> devirtualizes Next() in external
+/// sort's merge inner loop.
+class RunFileReader final : public MergeSource {
  public:
   explicit RunFileReader(const Schema* schema)
       : schema_(schema), codec_(schema),

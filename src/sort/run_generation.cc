@@ -72,6 +72,7 @@ void BatchSorter::SortPqMini(const std::vector<const uint64_t*>& rows,
     const uint32_t count = static_cast<uint32_t>(
         std::min<size_t>(mini_run_rows_, rows.size() - begin));
     auto mini = std::make_unique<InMemoryRun>(schema_->total_columns());
+    mini->Reserve(count);
     if (use_ovc_) {
       PqSorter sorter(&codec_, &comparator_);
       sorter.Reset(rows.data() + begin, count);
@@ -90,20 +91,22 @@ void BatchSorter::SortPqMini(const std::vector<const uint64_t*>& rows,
   if (minis.empty()) return;
 
   std::vector<std::unique_ptr<InMemoryRunSource>> source_storage;
-  std::vector<MergeSource*> sources;
+  std::vector<InMemoryRunSource*> sources;
   for (const auto& mini : minis) {
     source_storage.push_back(std::make_unique<InMemoryRunSource>(mini.get()));
     sources.push_back(source_storage.back().get());
   }
   if (use_ovc_) {
-    OvcMerger merger(&codec_, &comparator_, sources);
+    // Concrete-source merger: the refill calls devirtualize (loser_tree.h).
+    OvcMergerT<InMemoryRunSource> merger(&codec_, &comparator_, sources);
     while (merger.Next(&ref)) {
       sink->Accept(ref.cols, ref.ovc);
     }
   } else {
+    std::vector<MergeSource*> plain_sources(sources.begin(), sources.end());
     PlainMerger::Options options;
     options.derive_output_codes = naive_codes_;
-    PlainMerger merger(&codec_, &comparator_, sources, options);
+    PlainMerger merger(&codec_, &comparator_, plain_sources, options);
     while (merger.Next(&ref)) {
       sink->Accept(ref.cols,
                    naive_codes_ ? ref.ovc : codec_.MakeFromRow(ref.cols, 0));

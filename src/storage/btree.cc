@@ -344,6 +344,39 @@ class BTreeScanImpl : public Operator {
     return true;
   }
 
+  uint32_t NextBatch(RowBlock* out) override {
+    // Copies whole leaf spans (rows and stored codes are contiguous per
+    // leaf) instead of walking the chain row by row.
+    out->Clear();
+    while (!out->full()) {
+      while (leaf_ != nullptr) {
+        if (leaf_ == end_leaf_ && pos_ >= end_pos_) {
+          leaf_ = nullptr;
+          break;
+        }
+        if (pos_ < leaf_->rows.size()) break;
+        leaf_ = leaf_->next;
+        pos_ = 0;
+      }
+      if (leaf_ == nullptr) break;
+      uint32_t limit = static_cast<uint32_t>(leaf_->rows.size());
+      if (leaf_ == end_leaf_ && end_pos_ < limit) limit = end_pos_;
+      const uint32_t room = out->capacity() - out->size();
+      uint32_t n = limit - pos_;
+      if (n > room) n = room;
+      out->AppendContiguous(leaf_->rows.row(pos_), leaf_->codes.data() + pos_,
+                            n);
+      pos_ += n;
+      if (first_) {
+        if (rebase_first_) {
+          out->set_code(0, codec_->MakeInitial(out->row(0)));
+        }
+        first_ = false;
+      }
+    }
+    return out->size();
+  }
+
   void Close() override {}
   const Schema& schema() const override { return *schema_; }
   bool sorted() const override { return true; }

@@ -65,31 +65,20 @@ class RleColumnScan : public Operator {
 
   bool Next(RowRef* out) override {
     if (pos_ >= store_->rows_) return false;
-    const uint32_t arity = store_->schema_->key_arity();
-    // The offset is the first key column whose current segment is used up.
-    uint32_t offset = arity;
-    for (uint32_t c = 0; c < arity; ++c) {
-      if (seg_left_[c] == 0) {
-        if (offset == arity) offset = c;
-        const auto& seg = store_->key_columns_[c][pos_ == 0 ? 0 : seg_idx_[c]];
-        row_[c] = seg.value;
-        seg_left_[c] = seg.count;
-      }
-    }
-    for (uint32_t c = 0; c < arity; ++c) {
-      --seg_left_[c];
-      if (seg_left_[c] == 0) {
-        ++seg_idx_[c];  // next Next() reloads this column
-      }
-    }
-    for (uint32_t p = 0; p < store_->schema_->payload_columns(); ++p) {
-      row_[arity + p] = store_->payload_columns_[p][pos_];
-    }
+    ProduceRow(row_.data(), &out->ovc);
     out->cols = row_.data();
-    out->ovc = pos_ == 0 ? codec_.MakeInitial(row_.data())
-                         : codec_.MakeFromRow(row_.data(), offset);
-    ++pos_;
     return true;
+  }
+
+  uint32_t NextBatch(RowBlock* out) override {
+    out->Clear();
+    while (!out->full() && pos_ < store_->rows_) {
+      Ovc code = 0;
+      uint64_t* dst = out->AppendRow(0);
+      ProduceRow(dst, &code);
+      out->set_code(out->size() - 1, code);
+    }
+    return out->size();
   }
 
   void Close() override {}
@@ -98,6 +87,37 @@ class RleColumnScan : public Operator {
   bool has_ovc() const override { return true; }
 
  private:
+  /// Materializes the row at the cursor into `dst` (total_columns values),
+  /// stores its code in `*code`, and advances. Non-virtual so NextBatch's
+  /// loop stays free of per-row dispatch. Caller checks pos_ < rows_.
+  void ProduceRow(uint64_t* dst, Ovc* code) {
+    const uint32_t arity = store_->schema_->key_arity();
+    // The offset is the first key column whose current segment is used up.
+    uint32_t offset = arity;
+    for (uint32_t c = 0; c < arity; ++c) {
+      if (seg_left_[c] == 0) {
+        if (offset == arity) offset = c;
+        const auto& seg = store_->key_columns_[c][pos_ == 0 ? 0 : seg_idx_[c]];
+        dst[c] = seg.value;
+        seg_left_[c] = seg.count;
+      } else {
+        dst[c] = store_->key_columns_[c][seg_idx_[c]].value;
+      }
+    }
+    for (uint32_t c = 0; c < arity; ++c) {
+      --seg_left_[c];
+      if (seg_left_[c] == 0) {
+        ++seg_idx_[c];  // the next row reloads this column
+      }
+    }
+    for (uint32_t p = 0; p < store_->schema_->payload_columns(); ++p) {
+      dst[arity + p] = store_->payload_columns_[p][pos_];
+    }
+    *code = pos_ == 0 ? codec_.MakeInitial(dst)
+                      : codec_.MakeFromRow(dst, offset);
+    ++pos_;
+  }
+
   const RleColumnStore* store_;
   OvcCodec codec_;
   std::vector<uint64_t> row_;

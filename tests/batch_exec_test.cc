@@ -1,0 +1,361 @@
+// Batched execution: RowBlock semantics, the NextBatch default shim,
+// batched operator implementations against their row-at-a-time streams, and
+// block-sized merger output -- all validated with OvcStreamChecker so codes
+// are proven correct across block boundaries.
+
+#include <memory>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/ovc_checker.h"
+#include "exec/dedup.h"
+#include "exec/filter.h"
+#include "exec/limit.h"
+#include "exec/project.h"
+#include "exec/scan.h"
+#include "exec/sort_operator.h"
+#include "sort/run.h"
+#include "storage/btree.h"
+#include "storage/column_store.h"
+#include "tests/test_util.h"
+
+namespace ovc {
+namespace {
+
+using ::ovc::testing::MakeTable;
+using ::ovc::testing::RowVec;
+using ::ovc::testing::RunFromSorted;
+
+/// Drains `op` row-at-a-time; returns rows and codes.
+void DrainRows(Operator* op, RowVec* rows, std::vector<Ovc>* codes) {
+  const uint32_t width = op->schema().total_columns();
+  op->Open();
+  RowRef ref;
+  while (op->Next(&ref)) {
+    rows->emplace_back(ref.cols, ref.cols + width);
+    codes->push_back(ref.ovc);
+  }
+  op->Close();
+}
+
+/// Drains `op` through NextBatch with block capacity `batch_rows`,
+/// validating the stream with OvcStreamChecker when `check_codes`.
+void DrainBatched(Operator* op, uint32_t batch_rows, bool check_codes,
+                  RowVec* rows, std::vector<Ovc>* codes) {
+  const uint32_t width = op->schema().total_columns();
+  op->Open();
+  OvcStreamChecker checker(&op->schema());
+  RowBlock block(width, batch_rows);
+  uint32_t n;
+  while ((n = op->NextBatch(&block)) > 0) {
+    ASSERT_LE(n, batch_rows);
+    for (uint32_t i = 0; i < n; ++i) {
+      rows->emplace_back(block.row(i), block.row(i) + width);
+      codes->push_back(block.code(i));
+      if (check_codes) {
+        ASSERT_TRUE(checker.Observe(block.row(i), block.code(i)))
+            << checker.error();
+      }
+    }
+  }
+  op->Close();
+}
+
+/// The batched stream must be byte-identical (rows and codes) to the
+/// row-at-a-time stream. `batch_rows` deliberately small and non-dividing so
+/// many block boundaries fall mid-stream.
+void ExpectBatchedMatchesRowAtATime(Operator* op, uint32_t batch_rows,
+                                    bool check_codes) {
+  RowVec rows_one;
+  std::vector<Ovc> codes_one;
+  DrainRows(op, &rows_one, &codes_one);
+
+  RowVec rows_batch;
+  std::vector<Ovc> codes_batch;
+  DrainBatched(op, batch_rows, check_codes, &rows_batch, &codes_batch);
+
+  EXPECT_EQ(rows_batch, rows_one);
+  EXPECT_EQ(codes_batch, codes_one);
+}
+
+TEST(RowBlock, AppendTruncateAndPointerStability) {
+  RowBlock block(3, 4);
+  EXPECT_EQ(block.width(), 3u);
+  EXPECT_EQ(block.capacity(), 4u);
+  EXPECT_TRUE(block.empty());
+
+  const uint64_t r0[3] = {1, 2, 3};
+  const uint64_t r1[3] = {4, 5, 6};
+  block.Append(r0, 7);
+  block.Append(r1, 9);
+  EXPECT_EQ(block.size(), 2u);
+  EXPECT_FALSE(block.full());
+  EXPECT_EQ(block.row(1)[2], 6u);
+  EXPECT_EQ(block.code(0), 7u);
+  EXPECT_EQ(block.code(1), 9u);
+
+  // Rows are contiguous: row(1) is exactly width past row(0).
+  EXPECT_EQ(block.row(0) + block.width(), block.row(1));
+
+  // Clear/Truncate move the size only; storage stays in place.
+  const uint64_t* before = block.row(0);
+  block.Truncate(1);
+  EXPECT_EQ(block.size(), 1u);
+  block.Clear();
+  block.Append(r1, 1);
+  EXPECT_EQ(block.row(0), before);
+  EXPECT_EQ(block.row(0)[0], 4u);
+
+  // Bulk append with null codes zero-fills the code array.
+  block.Clear();
+  const uint64_t two_rows[6] = {1, 1, 1, 2, 2, 2};
+  block.AppendContiguous(two_rows, nullptr, 2);
+  EXPECT_EQ(block.size(), 2u);
+  EXPECT_EQ(block.code(0), 0u);
+  EXPECT_EQ(block.code(1), 0u);
+}
+
+TEST(NextBatch, DefaultShimMatchesNextOnUnbatchedOperator) {
+  // DedupOperator has no NextBatch override: the base-class shim must
+  // produce exactly the Next() stream.
+  Schema schema(2, 0);
+  RowBuffer table = MakeTable(schema, 997, 4, /*seed=*/17, /*sorted=*/true);
+  InMemoryRun run = RunFromSorted(schema, table);
+  RunScan scan(&schema, &run);
+  DedupOperator dedup(&scan);
+  ExpectBatchedMatchesRowAtATime(&dedup, 64, /*check_codes=*/true);
+}
+
+TEST(NextBatch, BufferScanBlocksMatchRowStream) {
+  Schema schema(2, 1);
+  RowBuffer table = MakeTable(schema, 1000, 5, /*seed=*/23);
+  BufferScan scan(&schema, &table);
+  ExpectBatchedMatchesRowAtATime(&scan, 96, /*check_codes=*/false);
+}
+
+TEST(NextBatch, RunScanBlocksCarryStoredCodesAcrossBoundaries) {
+  Schema schema(3, 1);
+  RowBuffer table = MakeTable(schema, 1234, 4, /*seed=*/29, /*sorted=*/true);
+  InMemoryRun run = RunFromSorted(schema, table);
+  RunScan scan(&schema, &run);
+  // 7-row blocks: ~176 boundaries, each first-row code relative to the last
+  // row of the previous block.
+  ExpectBatchedMatchesRowAtATime(&scan, 7, /*check_codes=*/true);
+}
+
+TEST(NextBatch, FilterCompactsBlocksAndDerivesCodes) {
+  Schema schema(2, 1);
+  RowBuffer table = MakeTable(schema, 2000, 6, /*seed=*/31, /*sorted=*/true);
+  InMemoryRun run = RunFromSorted(schema, table);
+  RunScan scan(&schema, &run);
+  FilterOperator filter(&scan, [](const uint64_t* row) {
+    return row[1] % 3 != 0;  // drop about a third
+  });
+  ExpectBatchedMatchesRowAtATime(&filter, 50, /*check_codes=*/true);
+}
+
+TEST(NextBatch, FilterSurvivesAllDroppedBlocks) {
+  Schema schema(1, 0);
+  RowBuffer table(1);
+  for (uint64_t i = 0; i < 100; ++i) {
+    table.AppendRow(&i);
+  }
+  BufferScan scan(&schema, &table);
+  // Keeps only the last row: the first 9 blocks (of 10) are fully dropped
+  // and NextBatch must keep pulling, not report a premature end.
+  FilterOperator filter(&scan, [](const uint64_t* row) {
+    return row[0] == 99;
+  });
+
+  RowVec rows;
+  std::vector<Ovc> codes;
+  DrainBatched(&filter, 10, /*check_codes=*/false, &rows, &codes);
+  ASSERT_EQ(rows.size(), 1u);
+  EXPECT_EQ(rows[0][0], 99u);
+}
+
+TEST(NextBatch, ProjectMapsBlocksWithClampedCodes) {
+  Schema in_schema(3, 1);
+  RowBuffer table = MakeTable(in_schema, 1500, 4, /*seed=*/37,
+                              /*sorted=*/true);
+  InMemoryRun run = RunFromSorted(in_schema, table);
+  RunScan scan(&in_schema, &run);
+  // Keep the 2-column key prefix and swap payload in: order-preserving.
+  Schema out_schema(2, 1);
+  ProjectOperator project(&scan, out_schema, {0, 1, 3});
+  ASSERT_TRUE(project.sorted());
+  ExpectBatchedMatchesRowAtATime(&project, 33, /*check_codes=*/true);
+}
+
+TEST(NextBatch, ScanFilterProjectLimitPipeline) {
+  Schema in_schema(3, 1);
+  RowBuffer table = MakeTable(in_schema, 3000, 5, /*seed=*/41,
+                              /*sorted=*/true);
+  InMemoryRun run = RunFromSorted(in_schema, table);
+  RunScan scan(&in_schema, &run);
+  FilterOperator filter(&scan, [](const uint64_t* row) {
+    return row[2] % 2 == 0;
+  });
+  Schema out_schema(2, 0);
+  ProjectOperator project(&filter, out_schema, {0, 1});
+  LimitOperator limit(&project, 800);
+  ExpectBatchedMatchesRowAtATime(&limit, 50, /*check_codes=*/true);
+}
+
+TEST(NextBatch, SortOperatorServesBlocksInMemoryAndSpilled) {
+  Schema schema(2, 1);
+  RowBuffer table = MakeTable(schema, 4000, 6, /*seed=*/43);
+  TempFileManager temp;
+
+  // In-memory path (default budget) and spill path (tiny budget: many runs,
+  // final merge through the devirtualized RunFileReader merger).
+  for (uint64_t memory_rows : {uint64_t{1} << 20, uint64_t{256}}) {
+    BufferScan scan(&schema, &table);
+    SortConfig config;
+    config.memory_rows = memory_rows;
+    SortOperator sort(&scan, nullptr, &temp, config);
+
+    RowVec rows;
+    std::vector<Ovc> codes;
+    DrainBatched(&sort, 100, /*check_codes=*/true, &rows, &codes);
+    testing::RowVec expected = testing::ReferenceSort(schema, table);
+    EXPECT_EQ(rows, expected) << "memory_rows=" << memory_rows;
+  }
+}
+
+TEST(NextBatch, RleColumnScanMatchesRowStream) {
+  Schema schema(3, 1);
+  RowBuffer table = MakeTable(schema, 1100, 4, /*seed=*/59, /*sorted=*/true);
+  InMemoryRun run = RunFromSorted(schema, table);
+  RleColumnStore store(&schema);
+  RunScan build_scan(&schema, &run);
+  store.Build(&build_scan);
+  ASSERT_EQ(store.rows(), table.size());
+
+  std::unique_ptr<Operator> scan = store.CreateScan();
+  ExpectBatchedMatchesRowAtATime(scan.get(), 47, /*check_codes=*/true);
+}
+
+TEST(NextBatch, FilterHandlesShrinkingBlockCapacity) {
+  // The staging block must track the caller's capacity: after a pull with
+  // a large block, a pull with a smaller one may not overflow it.
+  Schema schema(2, 0);
+  RowBuffer table = MakeTable(schema, 400, 4, /*seed=*/61, /*sorted=*/true);
+  InMemoryRun run = RunFromSorted(schema, table);
+  RunScan scan(&schema, &run);
+  FilterOperator filter(&scan, [](const uint64_t*) { return true; });
+
+  filter.Open();
+  RowBlock big(schema.total_columns(), 100);
+  RowBlock small(schema.total_columns(), 8);
+  ASSERT_EQ(filter.NextBatch(&big), 100u);
+  uint64_t total = 100;
+  uint32_t n;
+  while ((n = filter.NextBatch(&small)) > 0) {
+    ASSERT_LE(n, small.capacity());
+    total += n;
+  }
+  filter.Close();
+  EXPECT_EQ(total, 400u);
+}
+
+TEST(NextBatch, BlockPredicateMayMarkSurvivorsOnly) {
+  // A block predicate that only sets keep[i] for survivors (never writes
+  // zeroes) must work: the keep array is pre-zeroed per block, so stale
+  // entries from earlier blocks cannot leak through.
+  Schema schema(1, 0);
+  RowBuffer table(1);
+  for (uint64_t i = 0; i < 60; ++i) {
+    table.AppendRow(&i);
+  }
+  BufferScan scan(&schema, &table);
+  FilterOperator filter(
+      &scan, [](const uint64_t* row) { return row[0] % 5 == 0; },
+      [](const RowBlock& block, uint8_t* keep) {
+        for (uint32_t i = 0; i < block.size(); ++i) {
+          if (block.row(i)[0] % 5 == 0) keep[i] = 1;  // survivors only
+        }
+      });
+
+  RowVec rows;
+  std::vector<Ovc> codes;
+  DrainBatched(&filter, 10, /*check_codes=*/false, &rows, &codes);
+  ASSERT_EQ(rows.size(), 12u);
+  for (size_t i = 0; i < rows.size(); ++i) {
+    EXPECT_EQ(rows[i][0], i * 5);
+  }
+}
+
+TEST(NextBatch, BTreeScanCopiesLeafSpans) {
+  Schema schema(2, 1);
+  RowBuffer table = MakeTable(schema, 800, 6, /*seed=*/47);
+  QueryCounters counters;
+  BTree tree(&schema, &counters, /*node_capacity=*/16);
+  for (size_t i = 0; i < table.size(); ++i) {
+    tree.Insert(table.row(i));
+  }
+  std::unique_ptr<Operator> scan = tree.Scan();
+  ExpectBatchedMatchesRowAtATime(scan.get(), 60, /*check_codes=*/true);
+}
+
+TEST(OvcMergerBlocks, DevirtualizedMergerMatchesVirtualMerger) {
+  Schema schema(2, 0);
+  OvcCodec codec(&schema);
+  KeyComparator comparator(&schema, nullptr);
+
+  // Four sorted coded runs from disjoint-ish random tables.
+  std::vector<std::unique_ptr<InMemoryRun>> runs;
+  std::vector<RowBuffer> tables;
+  for (uint64_t f = 0; f < 4; ++f) {
+    tables.push_back(MakeTable(schema, 700 + 13 * f, 5, /*seed=*/53 + f,
+                               /*sorted=*/true));
+  }
+  for (auto& t : tables) {
+    runs.push_back(std::make_unique<InMemoryRun>(RunFromSorted(schema, t)));
+  }
+
+  // Virtual merger, row at a time.
+  std::vector<InMemoryRunSource> va{InMemoryRunSource(runs[0].get()),
+                                    InMemoryRunSource(runs[1].get()),
+                                    InMemoryRunSource(runs[2].get()),
+                                    InMemoryRunSource(runs[3].get())};
+  std::vector<MergeSource*> vsources{&va[0], &va[1], &va[2], &va[3]};
+  OvcMerger virtual_merger(&codec, &comparator, vsources);
+  RowVec rows_virtual;
+  std::vector<Ovc> codes_virtual;
+  RowRef ref;
+  while (virtual_merger.Next(&ref)) {
+    rows_virtual.emplace_back(ref.cols, ref.cols + schema.total_columns());
+    codes_virtual.push_back(ref.ovc);
+  }
+
+  // Devirtualized merger, block-sized output with an odd block size.
+  std::vector<InMemoryRunSource> da{InMemoryRunSource(runs[0].get()),
+                                    InMemoryRunSource(runs[1].get()),
+                                    InMemoryRunSource(runs[2].get()),
+                                    InMemoryRunSource(runs[3].get())};
+  std::vector<InMemoryRunSource*> dsources{&da[0], &da[1], &da[2], &da[3]};
+  OvcMergerT<InMemoryRunSource> devirt_merger(&codec, &comparator, dsources);
+  OvcStreamChecker checker(&schema);
+  RowVec rows_devirt;
+  std::vector<Ovc> codes_devirt;
+  RowBlock block(schema.total_columns(), 37);
+  uint32_t n;
+  while ((n = devirt_merger.NextBlock(&block)) > 0) {
+    for (uint32_t i = 0; i < n; ++i) {
+      rows_devirt.emplace_back(block.row(i),
+                               block.row(i) + schema.total_columns());
+      codes_devirt.push_back(block.code(i));
+      ASSERT_TRUE(checker.Observe(block.row(i), block.code(i)))
+          << checker.error();
+    }
+  }
+
+  EXPECT_EQ(rows_devirt, rows_virtual);
+  EXPECT_EQ(codes_devirt, codes_virtual);
+  EXPECT_TRUE(checker.ok()) << checker.error();
+}
+
+}  // namespace
+}  // namespace ovc

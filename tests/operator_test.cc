@@ -23,22 +23,7 @@ using ::ovc::testing::Canonicalize;
 using ::ovc::testing::DrainValidated;
 using ::ovc::testing::MakeTable;
 using ::ovc::testing::RowVec;
-
-// Builds an InMemoryRun with reference codes from a sorted buffer.
-InMemoryRun RunFromSorted(const Schema& schema, const RowBuffer& sorted) {
-  OvcCodec codec(&schema);
-  KeyComparator cmp(&schema, nullptr);
-  InMemoryRun run(schema.total_columns());
-  for (size_t i = 0; i < sorted.size(); ++i) {
-    Ovc code = i == 0 ? codec.MakeInitial(sorted.row(i))
-                      : codec.MakeFromRow(
-                            sorted.row(i),
-                            cmp.FirstDifference(sorted.row(i - 1),
-                                                sorted.row(i), 0));
-    run.Append(sorted.row(i), code);
-  }
-  return run;
-}
+using ::ovc::testing::RunFromSorted;
 
 TEST(Filter, Table3Golden) {
   // Table 3: of Table 1's rows, only the first and last pass the filter;

@@ -128,6 +128,28 @@ TEST_F(PlanExecutorTest, SetOpPlanMatchesReferenceIntersection) {
   EXPECT_EQ(testing::ToRowVec(result.rows), expected);
 }
 
+TEST_F(PlanExecutorTest, BatchedDrainValidatesAcrossBlockBoundaries) {
+  // The executor drains the root through NextBatch. With 7-row blocks a
+  // 2000-row sorted result crosses ~285 block boundaries; OvcStreamChecker
+  // observes every row, so a single code computed against the wrong base at
+  // any boundary would fail validation.
+  Schema schema(3, 1);
+  RowBuffer table = testing::MakeTable(schema, 2000, 5, /*seed=*/7);
+  auto logical =
+      PlanBuilder::Scan(BufferSource("t", &schema, &table)).Sort().Build();
+
+  PlanExecutor::Options options;
+  options.validate = true;
+  options.batch_rows = 7;
+  PlanExecutor executor(&counters_, &temp_, options);
+  ExecutionResult result = executor.Run(logical.get());
+
+  EXPECT_TRUE(result.validated);
+  EXPECT_TRUE(result.ok()) << result.validation_error;
+  EXPECT_EQ(testing::ToRowVec(result.rows),
+            testing::ReferenceSort(schema, table));
+}
+
 // The acceptance scenario: scan -> join -> aggregate -> distinct.
 //
 // Over pre-sorted inputs (B-trees delivering codes for free) the physical

@@ -12,9 +12,11 @@
 
 #include "core/ovc_checker.h"
 #include "exec/operator.h"
+#include "row/comparator.h"
 #include "row/generator.h"
 #include "row/row_buffer.h"
 #include "row/schema.h"
+#include "sort/run.h"
 
 namespace ovc::testing {
 
@@ -72,6 +74,26 @@ inline RowBuffer MakeTable(const Schema& schema, uint64_t rows,
   config.sorted = sorted;
   GenerateRows(schema, config, &buffer);
   return buffer;
+}
+
+/// Builds a sorted, coded InMemoryRun from a sorted buffer, deriving each
+/// code the naive reference way (adjacent row comparison, column by
+/// column). The oracle every batched/merged stream is checked against.
+inline InMemoryRun RunFromSorted(const Schema& schema,
+                                 const RowBuffer& sorted) {
+  OvcCodec codec(&schema);
+  KeyComparator cmp(&schema, nullptr);
+  InMemoryRun run(schema.total_columns());
+  run.Reserve(sorted.size());
+  for (size_t i = 0; i < sorted.size(); ++i) {
+    Ovc code = i == 0 ? codec.MakeInitial(sorted.row(i))
+                      : codec.MakeFromRow(
+                            sorted.row(i),
+                            cmp.FirstDifference(sorted.row(i - 1),
+                                                sorted.row(i), 0));
+    run.Append(sorted.row(i), code);
+  }
+  return run;
 }
 
 /// Builds a row for literal test fixtures.
