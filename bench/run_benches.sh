@@ -1,26 +1,30 @@
 #!/usr/bin/env bash
 # Runs the key benchmarks with --benchmark_format=json and aggregates all
-# results into a single JSON file (committed as BENCH_PR2.json at the repo
+# results into a single JSON file (committed as BENCH_<PR>.json at the repo
 # root for the benchmark trajectory).
 #
 # Usage:
 #   bench/run_benches.sh [-B build_dir] [-o out.json] [--smoke]
 #
 #   -B dir    build directory holding the bench binaries (default: build)
-#   -o file   aggregate output path (default: BENCH_PR2.json)
+#   -o file   aggregate output path (default: $BENCH_OUT or BENCH_PR3.json)
 #   --smoke   CI mode: tiny --benchmark_min_time so the binaries and this
 #             script are exercised end-to-end without burning CI minutes
 #
-# Benchmarks are built on demand if the binaries are missing.
+# Benchmarks are built on demand if the binaries are missing. The subset
+# includes the exchange merge (OVC vs plain, threaded) and the planner's
+# parallel sort shape at 1/2/4 workers (multi-worker scaling is bounded by
+# the machine's core count).
 
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
 
 BUILD_DIR=build
-OUT=BENCH_PR2.json
+OUT=${BENCH_OUT:-BENCH_PR3.json}
 MIN_TIME=0.5
-BENCHES=(bench_batch_pipeline bench_pq_merge bench_sort_ovc)
+BENCHES=(bench_batch_pipeline bench_pq_merge bench_sort_ovc
+         bench_exchange_merge bench_parallel_sort)
 
 while [[ $# -gt 0 ]]; do
   case "$1" in

@@ -36,7 +36,8 @@ TempFileManager::~TempFileManager() {
 }
 
 std::string TempFileManager::NewPath(const std::string& tag) {
-  return dir_ + "/" + tag + "-" + std::to_string(next_id_++);
+  return dir_ + "/" + tag + "-" +
+         std::to_string(next_id_.fetch_add(1, std::memory_order_relaxed));
 }
 
 FileWriter::~FileWriter() {

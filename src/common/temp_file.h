@@ -7,6 +7,7 @@
 #ifndef OVC_COMMON_TEMP_FILE_H_
 #define OVC_COMMON_TEMP_FILE_H_
 
+#include <atomic>
 #include <cstdint>
 #include <string>
 
@@ -30,7 +31,8 @@ class TempFileManager {
   TempFileManager& operator=(const TempFileManager&) = delete;
 
   /// Returns a unique path (the file is not created). `tag` is embedded in
-  /// the name for debuggability, e.g. "run", "hash-partition".
+  /// the name for debuggability, e.g. "run", "hash-partition". Thread-safe:
+  /// parallel worker pipelines spill through one shared manager.
   std::string NewPath(const std::string& tag);
 
   /// The scratch directory this manager owns.
@@ -38,7 +40,7 @@ class TempFileManager {
 
  private:
   std::string dir_;
-  uint64_t next_id_ = 0;
+  std::atomic<uint64_t> next_id_{0};
 };
 
 /// Buffered sequential writer over a temporary file.

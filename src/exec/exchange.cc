@@ -11,64 +11,88 @@ namespace {
 class SplitPartitionStreamImpl : public Operator {
  public:
   SplitPartitionStreamImpl(SplitExchange* exchange, uint32_t index,
-                           const Schema* schema)
-      : exchange_(exchange), index_(index), schema_(schema) {}
+                           const Schema* schema, bool sorted, bool has_ovc)
+      : exchange_(exchange),
+        index_(index),
+        schema_(schema),
+        sorted_(sorted),
+        has_ovc_(has_ovc) {}
 
-  void Open() override {}
+  void Open() override;
   bool Next(RowRef* out) override;
-  void Close() override {}
+  uint32_t NextBatch(RowBlock* out) override;
+  void Close() override;
   const Schema& schema() const override { return *schema_; }
-  bool sorted() const override { return true; }
-  bool has_ovc() const override { return true; }
+  bool sorted() const override { return sorted_; }
+  bool has_ovc() const override { return has_ovc_; }
 
  private:
   SplitExchange* exchange_;
   uint32_t index_;
   const Schema* schema_;
+  bool sorted_;
+  bool has_ovc_;
 };
 
 }  // namespace
 
-// SplitPartitionStreamImpl::Next needs SplitExchange internals; the friend
-// declaration names SplitPartitionStream, so route through a member helper.
+// SplitPartitionStreamImpl needs SplitExchange internals; the friend
+// declaration names SplitPartitionStream, so route through member helpers.
 class SplitPartitionStream {
  public:
+  static void Open(SplitExchange* ex, uint32_t index) {
+    ex->StreamOpen(index);
+  }
+  static void Close(SplitExchange* ex, uint32_t index) {
+    ex->StreamClose(index);
+  }
   static bool Next(SplitExchange* ex, uint32_t index, RowRef* out) {
-    ex->PumpUntil(index);
-    auto& state = *ex->states_[index];
-    const uint64_t* row = nullptr;
-    Ovc code = 0;
-    if (!state.Pop(&row, &code)) return false;
-    out->cols = row;
-    out->ovc = code;
-    return true;
+    return ex->NextRow(index, out);
+  }
+  static uint32_t NextBatch(SplitExchange* ex, uint32_t index, RowBlock* out) {
+    return ex->NextRows(index, out);
   }
 };
 
 namespace {
 
-bool SplitPartitionStreamImplNext(SplitExchange* ex, uint32_t index,
-                                  RowRef* out) {
-  return SplitPartitionStream::Next(ex, index, out);
+void SplitPartitionStreamImpl::Open() {
+  SplitPartitionStream::Open(exchange_, index_);
+}
+
+bool SplitPartitionStreamImpl::Next(RowRef* out) {
+  return SplitPartitionStream::Next(exchange_, index_, out);
+}
+
+uint32_t SplitPartitionStreamImpl::NextBatch(RowBlock* out) {
+  OVC_DCHECK(out->width() == schema_->total_columns());
+  return SplitPartitionStream::NextBatch(exchange_, index_, out);
+}
+
+void SplitPartitionStreamImpl::Close() {
+  SplitPartitionStream::Close(exchange_, index_);
 }
 
 }  // namespace
 
-bool SplitPartitionStreamImpl::Next(RowRef* out) {
-  return SplitPartitionStreamImplNext(exchange_, index_, out);
-}
-
 SplitExchange::SplitExchange(Operator* child, uint32_t partitions,
                              Policy policy, QueryCounters* counters,
-                             std::vector<uint64_t> range_bounds)
+                             std::vector<uint64_t> range_bounds,
+                             uint32_t hash_prefix)
     : child_(child),
       policy_(policy),
       counters_(counters),
-      range_bounds_(std::move(range_bounds)) {
-  OVC_CHECK(child->sorted() && child->has_ovc());
+      range_bounds_(std::move(range_bounds)),
+      hash_prefix_(hash_prefix == 0 ? child->schema().key_arity()
+                                    : hash_prefix),
+      child_has_ovc_(child->sorted() && child->has_ovc()),
+      pump_block_(child->schema().total_columns()) {
   OVC_CHECK(partitions >= 1);
+  OVC_CHECK(hash_prefix_ <= child->schema().key_arity());
   if (policy == Policy::kRangeFirstColumn) {
     OVC_CHECK(range_bounds_.size() + 1 == partitions);
+    // Range routing reads the first key column of a stream ordered on it.
+    OVC_CHECK(child->sorted());
   }
   for (uint32_t p = 0; p < partitions; ++p) {
     auto state =
@@ -76,8 +100,9 @@ SplitExchange::SplitExchange(Operator* child, uint32_t partitions,
     state->acc.Reset();
     states_.push_back(std::move(state));
     streams_.push_back(std::make_unique<SplitPartitionStreamImpl>(
-        this, p, &child->schema()));
+        this, p, &child->schema(), child->sorted(), child_has_ovc_));
   }
+  stream_closed_.assign(partitions, false);
 }
 
 Operator* SplitExchange::partition(uint32_t i) {
@@ -85,13 +110,42 @@ Operator* SplitExchange::partition(uint32_t i) {
   return streams_[i].get();
 }
 
+void SplitExchange::StreamOpen(uint32_t index) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (stream_closed_[index]) {
+    // Re-opened before the cycle completed: it no longer counts as closed.
+    stream_closed_[index] = false;
+    --closed_streams_;
+  }
+}
+
+void SplitExchange::StreamClose(uint32_t index) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (stream_closed_[index]) return;
+  stream_closed_[index] = true;
+  ++closed_streams_;
+  if (closed_streams_ == partitions() && child_open_) {
+    // Every partition stream has been closed: balance the lazy Open() with
+    // exactly one Close() and reset all routing state so the exchange
+    // supports a fresh open/pull/close cycle over a rescannable child.
+    child_->Close();
+    child_open_ = false;
+    child_done_ = false;
+    pump_block_.Clear();
+    pump_pos_ = 0;
+    round_robin_next_ = 0;
+    for (auto& state : states_) state->Reset();
+    stream_closed_.assign(partitions(), false);
+    closed_streams_ = 0;
+  }
+}
+
 uint32_t SplitExchange::RouteOf(const uint64_t* row) {
   const uint32_t p_count = partitions();
   switch (policy_) {
     case Policy::kHashKey:
       return static_cast<uint32_t>(
-          HashKeyPrefix(row, child_->schema().key_arity(), counters_) %
-          p_count);
+          HashKeyPrefix(row, hash_prefix_, counters_) % p_count);
     case Policy::kRoundRobin:
       return static_cast<uint32_t>(round_robin_next_++ % p_count);
     case Policy::kRangeFirstColumn: {
@@ -104,29 +158,67 @@ uint32_t SplitExchange::RouteOf(const uint64_t* row) {
   return 0;
 }
 
-void SplitExchange::PumpUntil(uint32_t want) {
+void SplitExchange::PumpUntilLocked(uint32_t want, size_t min_rows) {
   if (!child_open_) {
     child_->Open();
     child_open_ = true;
   }
   auto& want_state = *states_[want];
-  while (!want_state.HasRow() && !child_done_) {
-    RowRef ref;
-    if (!child_->Next(&ref)) {
-      child_done_ = true;
-      break;
+  while (want_state.buffered < min_rows && !child_done_) {
+    if (pump_pos_ >= pump_block_.size()) {
+      // Refill the staging block: one virtual call per block of routed
+      // rows. The previous block's rows were copied into partition
+      // buffers, so invalidating them here is safe.
+      if (child_->NextBatch(&pump_block_) == 0) {
+        child_done_ = true;
+        break;
+      }
+      pump_pos_ = 0;
     }
-    const uint32_t p = RouteOf(ref.cols);
-    // Filter theorem per partition: the routed row's output code combines
-    // the codes of rows routed elsewhere since this partition's last row;
-    // every other partition absorbs this row's code.
+    const uint64_t* row = pump_block_.row(pump_pos_);
+    const Ovc code = pump_block_.code(pump_pos_);
+    ++pump_pos_;
+    const uint32_t p = RouteOf(row);
     auto& target = *states_[p];
-    target.Push(ref.cols, target.acc.Combine(ref.ovc));
-    target.acc.Reset();
-    for (uint32_t q = 0; q < partitions(); ++q) {
-      if (q != p) states_[q]->acc.Absorb(ref.ovc);
+    if (child_has_ovc_) {
+      // Filter theorem per partition: the routed row's output code combines
+      // the codes of rows routed elsewhere since this partition's last row;
+      // every other partition absorbs this row's code.
+      target.Push(row, target.acc.Combine(code));
+      target.acc.Reset();
+      for (uint32_t q = 0; q < partitions(); ++q) {
+        if (q != p) states_[q]->acc.Absorb(code);
+      }
+    } else {
+      // Unsorted child: no codes to maintain, rows route as-is.
+      target.Push(row, 0);
     }
   }
+}
+
+bool SplitExchange::NextRow(uint32_t index, RowRef* out) {
+  std::lock_guard<std::mutex> lock(mu_);
+  PumpUntilLocked(index, 1);
+  auto& state = *states_[index];
+  const uint64_t* row = nullptr;
+  Ovc code = 0;
+  if (!state.Pop(&row, &code)) return false;
+  out->cols = row;
+  out->ovc = code;
+  return true;
+}
+
+uint32_t SplitExchange::NextRows(uint32_t index, RowBlock* out) {
+  std::lock_guard<std::mutex> lock(mu_);
+  out->Clear();
+  PumpUntilLocked(index, out->capacity());
+  auto& state = *states_[index];
+  const uint64_t* row = nullptr;
+  Ovc code = 0;
+  while (!out->full() && state.Pop(&row, &code)) {
+    out->Append(row, code);
+  }
+  return out->size();
 }
 
 bool BoundedBatchQueue::Push(std::unique_ptr<RowBatch> batch) {
@@ -157,6 +249,12 @@ void BoundedBatchQueue::Cancel() {
 }
 
 /// MergeSource fed by a producer thread's batch queue.
+///
+/// RowRef lifetime (see exec/operator.h): popping the next batch frees the
+/// previous one, so a row pointer handed out here dies on the very next
+/// Next() call that crosses a batch boundary. Consumers that keep a row
+/// (the merge's loser tree keeps one candidate per input between pulls;
+/// anything downstream of the exchange) must copy before pulling again.
 class MergeExchange::QueueMergeSource : public MergeSource {
  public:
   explicit QueueMergeSource(BoundedBatchQueue* queue) : queue_(queue) {}
@@ -170,7 +268,7 @@ class MergeExchange::QueueMergeSource : public MergeSource {
         return true;
       }
       if (done_) return false;
-      batch_ = queue_->Pop();
+      batch_ = queue_->Pop();  // frees the previous batch and its rows
       pos_ = 0;
       if (batch_ == nullptr) {
         done_ = true;
@@ -200,9 +298,15 @@ MergeExchange::MergeExchange(std::vector<Operator*> inputs,
   }
 }
 
-MergeExchange::~MergeExchange() { StopThreads(); }
+// Full ResetState, not just StopThreads: destruction after Open() without
+// Close() must still balance inline-opened inputs' lifecycles (threaded
+// producers close their own input when the queues are cancelled).
+MergeExchange::~MergeExchange() { ResetState(); }
 
 void MergeExchange::Open() {
+  // Re-entrant: a second Open() -- after Close(), or even without one --
+  // must not stack fresh queues/producers/sources onto leftover state.
+  ResetState();
   std::vector<MergeSource*> raw_sources;
   if (options_.threaded) {
     for (Operator* in : inputs_) {
@@ -212,19 +316,16 @@ void MergeExchange::Open() {
       const uint32_t batch_rows = options_.batch_rows;
       producers_.emplace_back([in, queue, batch_rows] {
         in->Open();
-        auto batch =
-            std::make_unique<RowBatch>(in->schema().total_columns());
-        RowRef ref;
+        const uint32_t width = in->schema().total_columns();
+        // Pull whole blocks from the input pipeline (one virtual NextBatch
+        // per block) and hand each on as one queue batch.
+        RowBlock block(width, batch_rows);
         bool alive = true;
-        while (alive && in->Next(&ref)) {
-          batch->Append(ref.cols, ref.ovc);
-          if (batch->size() >= batch_rows) {
-            alive = queue->Push(std::move(batch));
-            batch =
-                std::make_unique<RowBatch>(in->schema().total_columns());
-          }
-        }
-        if (alive && !batch->empty()) {
+        uint32_t n;
+        while (alive && (n = in->NextBatch(&block)) > 0) {
+          auto batch = std::make_unique<RowBatch>(width);
+          batch->Reserve(n);
+          batch->AppendBlock(block);
           alive = queue->Push(std::move(batch));
         }
         if (alive) {
@@ -241,6 +342,7 @@ void MergeExchange::Open() {
       sources_.push_back(std::make_unique<OperatorMergeSource>(in));
       raw_sources.push_back(sources_.back().get());
     }
+    inline_inputs_open_ = true;
   }
   if (options_.use_ovc) {
     merger_ = std::make_unique<OvcMerger>(&codec_, &comparator_, raw_sources);
@@ -256,6 +358,19 @@ bool MergeExchange::Next(RowRef* out) {
   return false;
 }
 
+uint32_t MergeExchange::NextBatch(RowBlock* out) {
+  OVC_DCHECK(out->width() == schema().total_columns());
+  if (merger_ != nullptr) return merger_->NextBlock(out);
+  out->Clear();
+  if (plain_merger_ != nullptr) {
+    RowRef ref;
+    while (!out->full() && plain_merger_->Next(&ref)) {
+      out->Append(ref.cols, ref.ovc);
+    }
+  }
+  return out->size();
+}
+
 void MergeExchange::StopThreads() {
   for (auto& queue : queues_) {
     queue->Cancel();
@@ -267,14 +382,21 @@ void MergeExchange::StopThreads() {
   queues_.clear();
 }
 
-void MergeExchange::Close() {
+void MergeExchange::ResetState() {
   StopThreads();
   merger_.reset();
   plain_merger_.reset();
   sources_.clear();
-  if (!options_.threaded) {
+  // Threaded producers close their own input at thread exit (normal or
+  // cancelled); inline mode opened the inputs on this thread, so balance
+  // those opens here -- also on the Open()-without-Close() path, where a
+  // leaked open would break the re-open contract.
+  if (inline_inputs_open_) {
     for (Operator* in : inputs_) in->Close();
+    inline_inputs_open_ = false;
   }
 }
+
+void MergeExchange::Close() { ResetState(); }
 
 }  // namespace ovc

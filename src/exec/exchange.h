@@ -3,17 +3,21 @@
 // One-to-many "splitting" shuffle: each output partition is a selection
 // from the overall input stream, so its codes follow from the filter
 // theorem -- a per-partition accumulator absorbs the codes of rows routed
-// elsewhere.
+// elsewhere. An *unsorted* child is also accepted (codes are then all zero
+// and the partition streams are unsorted): that is the front half of the
+// parallel-sort plan shape, which partitions raw input across workers whose
+// sorts then produce the codes.
 //
 // Many-to-one "merging" shuffle: the standard merge logic, "very similar to
 // a merge step in an external merge sort": a tree-of-losers priority queue
 // exploits the input codes and produces output codes. Producer threads
-// drive the inputs and hand row batches to the consumer through bounded
-// queues; a single-threaded mode serves deterministic benchmarks.
+// drive the inputs and hand whole row batches to the consumer through
+// bounded queues; a single-threaded mode serves deterministic benchmarks.
 //
 // Many-to-many shuffle is deliberately not provided (the paper: "usually
 // not recommended due to its danger ... of deadlock"); compose a merging
-// and a splitting exchange instead.
+// and a splitting exchange instead -- which is exactly what the planner's
+// parallel plan shapes do (plan/physical_plan.h).
 
 #ifndef OVC_EXEC_EXCHANGE_H_
 #define OVC_EXEC_EXCHANGE_H_
@@ -29,26 +33,44 @@
 #include "core/accumulator.h"
 #include "exec/operator.h"
 #include "pq/plain_loser_tree.h"
+#include "row/row_block.h"
 #include "sort/run.h"
 
 namespace ovc {
 
-/// Demultiplexes one sorted, coded stream into `partitions` sorted, coded
-/// partition streams.
+/// Demultiplexes one stream into `partitions` partition streams. A sorted,
+/// coded child yields sorted, coded partition streams (filter theorem); an
+/// unsorted child yields unsorted partition streams (zero codes).
+///
+/// Thread safety: the partition streams may be pulled from different
+/// threads concurrently (each stream by at most one thread); routing over
+/// the shared child is serialized internally. This is what lets a threaded
+/// MergeExchange drive one worker pipeline per partition.
+///
+/// Child lifecycle: the shared child is opened lazily at the first pull and
+/// closed exactly once per cycle -- when every partition stream has been
+/// closed (consumers may run concurrently or drain the partitions one
+/// after another; rows for not-yet-consumed partitions stay buffered until
+/// their own stream closes). Closing the last stream also resets all
+/// routing state, so the whole exchange supports a fresh open/pull/close
+/// cycle (rescan), provided the child supports rescans.
 class SplitExchange {
  public:
   enum class Policy {
-    kHashKey,     // co-locates equal keys (partition by key hash)
+    kHashKey,     // co-locates equal keys (partition by key-prefix hash)
     kRoundRobin,  // balances rows
     kRangeFirstColumn,  // range-partitions on the first key column
   };
 
-  /// `child` must be sorted with codes. For kRangeFirstColumn,
-  /// `range_bounds` holds partitions-1 ascending upper bounds (exclusive)
-  /// on the first key column.
+  /// For kRangeFirstColumn, `range_bounds` holds partitions-1 ascending
+  /// upper bounds (exclusive) on the first key column. For kHashKey,
+  /// `hash_prefix` is the number of leading key columns hashed (0 = the
+  /// child's full key arity); co-locating aggregation groups hashes only
+  /// the grouping prefix.
   SplitExchange(Operator* child, uint32_t partitions, Policy policy,
                 QueryCounters* counters,
-                std::vector<uint64_t> range_bounds = {});
+                std::vector<uint64_t> range_bounds = {},
+                uint32_t hash_prefix = 0);
 
   /// The i-th partition stream. All partitions share the child; rows for
   /// not-yet-consumed partitions are buffered in memory.
@@ -74,6 +96,7 @@ class SplitExchange {
         chunks.back().Reserve(kChunkRows);
       }
       chunks.back().Append(row, code);
+      ++buffered;
     }
 
     bool Pop(const uint64_t** row, Ovc* code) {
@@ -86,35 +109,65 @@ class SplitExchange {
       *row = chunks.front().row(head_pos);
       *code = chunks.front().code(head_pos);
       ++head_pos;
+      --buffered;
       return true;
     }
 
-    bool HasRow() const {
-      if (chunks.empty()) return false;
-      if (head_pos < chunks.front().size()) return true;
-      return chunks.size() > 1;
+    void Reset() {
+      chunks.clear();
+      head_pos = 0;
+      buffered = 0;
+      acc.Reset();
     }
 
     uint32_t width;
     std::deque<InMemoryRun> chunks;
     size_t head_pos = 0;
+    /// Rows currently buffered (pushed, not yet popped).
+    size_t buffered = 0;
     OvcAccumulator acc;
   };
 
-  /// Routes child rows to partition queues until partition `want` has a row
-  /// or the child is exhausted.
-  void PumpUntil(uint32_t want);
+  /// Partition-stream lifecycle hooks (see "Child lifecycle" above).
+  void StreamOpen(uint32_t index);
+  void StreamClose(uint32_t index);
+
+  /// Routes child rows to partition buffers until partition `want` holds at
+  /// least `min_rows` rows or the child is exhausted. Caller holds mu_.
+  void PumpUntilLocked(uint32_t want, size_t min_rows);
   uint32_t RouteOf(const uint64_t* row);
+  /// One-row pull used by SplitPartitionStream.
+  bool NextRow(uint32_t index, RowRef* out);
+  /// Block pull: fills `out` with up to its capacity rows of partition
+  /// `index` (copied out of the partition buffers).
+  uint32_t NextRows(uint32_t index, RowBlock* out);
 
   Operator* child_;
   Policy policy_;
   QueryCounters* counters_;
   std::vector<uint64_t> range_bounds_;
+  uint32_t hash_prefix_;
+  bool child_has_ovc_;
   std::vector<std::unique_ptr<PartitionState>> states_;
   std::vector<std::unique_ptr<Operator>> streams_;
+
+  /// Serializes pumping, buffer access, and lifecycle transitions: the
+  /// partition streams are pulled from concurrent producer threads but
+  /// share the child and the routing state.
+  std::mutex mu_;
+  /// Staging block for batched pumping (one virtual child NextBatch per
+  /// block instead of one virtual Next per routed row). Guarded by mu_.
+  RowBlock pump_block_;
+  uint32_t pump_pos_ = 0;
   uint64_t round_robin_next_ = 0;
   bool child_open_ = false;
   bool child_done_ = false;
+  /// Streams closed in the current cycle. The child is closed (and all
+  /// routing state reset) when every stream has been closed -- NOT when
+  /// the count of concurrently-open streams drops to zero, which would
+  /// discard rows buffered for partitions drained one after another.
+  std::vector<bool> stream_closed_;
+  uint32_t closed_streams_ = 0;
 };
 
 /// A batch of rows travelling from a producer thread to the merge.
@@ -142,6 +195,10 @@ class BoundedBatchQueue {
 };
 
 /// Many-to-one order-preserving merging exchange.
+///
+/// Supports re-open: Close() (or a fresh Open(), which resets any leftover
+/// state first) returns the exchange to a pristine state, and a further
+/// Open() restarts all inputs, provided they support rescans.
 class MergeExchange : public Operator {
  public:
   struct Options {
@@ -170,6 +227,7 @@ class MergeExchange : public Operator {
 
   void Open() override;
   bool Next(RowRef* out) override;
+  uint32_t NextBatch(RowBlock* out) override;
   void Close() override;
   const Schema& schema() const override { return inputs_[0]->schema(); }
   bool sorted() const override { return true; }
@@ -179,6 +237,9 @@ class MergeExchange : public Operator {
   class QueueMergeSource;
 
   void StopThreads();
+  /// Returns the exchange to its pre-Open state (joins producer threads,
+  /// drops mergers/sources/queues). Safe to call in any state.
+  void ResetState();
 
   std::vector<Operator*> inputs_;
   QueryCounters* counters_;
@@ -191,6 +252,9 @@ class MergeExchange : public Operator {
   std::vector<std::unique_ptr<MergeSource>> sources_;
   std::unique_ptr<OvcMerger> merger_;
   std::unique_ptr<PlainMerger> plain_merger_;
+  /// True while inline (non-threaded) mode holds its inputs open; they are
+  /// closed by ResetState (Close, or a re-entrant Open).
+  bool inline_inputs_open_ = false;
 };
 
 }  // namespace ovc

@@ -36,7 +36,13 @@ class Operator {
   virtual void Open() = 0;
 
   /// Produces the next output row. The referenced columns stay valid until
-  /// the following Next()/Close() call on this operator.
+  /// the following Next()/NextBatch()/Close() call on this operator -- and
+  /// no longer. This bound is tight for operators that stream through
+  /// recycled buffers: a queue-fed MergeExchange frees a producer batch the
+  /// moment its QueueMergeSource pops the next one, so a RowRef that
+  /// crossed a batch boundary points at freed memory. A consumer that needs
+  /// a row beyond its own next pull (e.g. to compare against the previous
+  /// row) must copy the columns out before pulling again.
   virtual bool Next(RowRef* out) = 0;
 
   /// Batched production: clears `out`, fills it with up to out->capacity()

@@ -107,6 +107,11 @@ struct LogicalNode {
   // --- analysis annotations (filled by the planner passes) ---
   /// Interesting order: what this node's parent could exploit.
   OrderRequirement required = OrderRequirement::None();
+  /// Order property the planner's decision rules will deliver for this
+  /// subtree -- the memoized form of InferOrderProperty, filled bottom-up
+  /// once per Plan() so the parallel-shape pre-decisions are O(1) per node
+  /// instead of a subtree recursion each.
+  OrderProperty inferred = OrderProperty::Unsorted();
 };
 
 /// Fluent builder for logical plans. Each call wraps the current tree in a

@@ -47,6 +47,10 @@ const char* PhysicalAlgName(PhysicalAlg alg) {
       return "elided-sort";
     case PhysicalAlg::kLimit:
       return "limit";
+    case PhysicalAlg::kSplitExchange:
+      return "split-exchange";
+    case PhysicalAlg::kMergeExchange:
+      return "merge-exchange";
   }
   return "unknown";
 }
@@ -54,6 +58,17 @@ const char* PhysicalAlgName(PhysicalAlg alg) {
 bool PhysicalPlan::Uses(PhysicalAlg alg) const {
   return std::find(algorithms_.begin(), algorithms_.end(), alg) !=
          algorithms_.end();
+}
+
+PhysicalPlan::~PhysicalPlan() {
+  while (!operators_.empty()) operators_.pop_back();
+}
+
+void PhysicalPlan::RollUpWorkerCounters(QueryCounters* into) {
+  for (auto& wc : worker_counters_) {
+    if (into != nullptr) into->Merge(*wc);
+    wc->Reset();
+  }
 }
 
 namespace {
@@ -282,6 +297,37 @@ OrderProperty FilterOutput(const OrderProperty& child) {
                                child.sorted() && child.has_ovc);
 }
 
+/// The single rule table behind order-property inference: the property
+/// this node's chosen physical form delivers, given its children's
+/// properties. Both the public recursive InferOrderProperty and the
+/// planner's memoizing AnnotateInferred pass are thin wrappers over this,
+/// so the two can never disagree.
+OrderProperty NodeOutputProperty(const LogicalNode& node,
+                                 const OrderProperty* child_props,
+                                 const PlannerOptions& options) {
+  switch (node.op) {
+    case LogicalOp::kScan:
+      return node.source.order;
+    case LogicalOp::kFilter:
+      return FilterOutput(child_props[0]);
+    case LogicalOp::kProject:
+      return ProjectOutput(node, child_props[0]);
+    case LogicalOp::kJoin:
+      return DecideJoin(node, child_props[0], child_props[1], options).out;
+    case LogicalOp::kAggregate:
+      return DecideAggregate(node, child_props[0], options).out;
+    case LogicalOp::kDistinct:
+      return DecideDistinct(node, child_props[0], options).out;
+    case LogicalOp::kSetOp:
+      return OrderProperty::Sorted(node.schema.key_arity(), /*ovc=*/true);
+    case LogicalOp::kSort:
+      return DecideSort(node, child_props[0], options).out;
+    case LogicalOp::kTopK:
+      return DecideTopK(node, child_props[0], options).out;
+  }
+  return OrderProperty::Unsorted();
+}
+
 std::string IndentBlock(const std::string& block) {
   std::string out;
   out.reserve(block.size() + 32);
@@ -308,40 +354,29 @@ std::string ExplainLine(PhysicalAlg alg, const OrderProperty& prop,
 
 OrderProperty InferOrderProperty(const LogicalNode& node,
                                  const PlannerOptions& options) {
-  switch (node.op) {
-    case LogicalOp::kScan:
-      return node.source.order;
-    case LogicalOp::kFilter:
-      return FilterOutput(InferOrderProperty(*node.children[0], options));
-    case LogicalOp::kProject:
-      return ProjectOutput(node,
-                           InferOrderProperty(*node.children[0], options));
-    case LogicalOp::kJoin:
-      return DecideJoin(node, InferOrderProperty(*node.children[0], options),
-                        InferOrderProperty(*node.children[1], options),
-                        options)
-          .out;
-    case LogicalOp::kAggregate:
-      return DecideAggregate(
-                 node, InferOrderProperty(*node.children[0], options), options)
-          .out;
-    case LogicalOp::kDistinct:
-      return DecideDistinct(
-                 node, InferOrderProperty(*node.children[0], options), options)
-          .out;
-    case LogicalOp::kSetOp:
-      return OrderProperty::Sorted(node.schema.key_arity(), /*ovc=*/true);
-    case LogicalOp::kSort:
-      return DecideSort(node, InferOrderProperty(*node.children[0], options),
-                        options)
-          .out;
-    case LogicalOp::kTopK:
-      return DecideTopK(node, InferOrderProperty(*node.children[0], options),
-                        options)
-          .out;
+  OrderProperty child_props[2];
+  for (size_t i = 0; i < node.children.size() && i < 2; ++i) {
+    child_props[i] = InferOrderProperty(*node.children[i], options);
   }
-  return OrderProperty::Unsorted();
+  return NodeOutputProperty(node, child_props, options);
 }
+
+namespace {
+
+/// Bottom-up pass caching each node's decision-rule property in
+/// `node->inferred` -- the memoized form of InferOrderProperty (one
+/// NodeOutputProperty call per node for the whole tree).
+OrderProperty AnnotateInferred(LogicalNode* node,
+                               const PlannerOptions& options) {
+  OrderProperty child_props[2];
+  for (size_t i = 0; i < node->children.size() && i < 2; ++i) {
+    child_props[i] = AnnotateInferred(node->children[i].get(), options);
+  }
+  node->inferred = NodeOutputProperty(*node, child_props, options);
+  return node->inferred;
+}
+
+}  // namespace
 
 Planner::Planner(QueryCounters* counters, TempFileManager* temp,
                  PlannerOptions options)
@@ -349,8 +384,9 @@ Planner::Planner(QueryCounters* counters, TempFileManager* temp,
 
 PhysicalPlan Planner::Plan(LogicalNode* root) {
   InferOrderRequirements(root);
+  AnnotateInferred(root, options_);
   PhysicalPlan plan;
-  Built built = BuildNode(root, &plan, 0);
+  Built built = BuildNode(root, &plan, 0, counters_);
   plan.root_ = built.op;
   plan.root_order_ = built.prop;
   // The operator contract (exec/operator.h) must agree with what the
@@ -361,7 +397,7 @@ PhysicalPlan Planner::Plan(LogicalNode* root) {
 }
 
 Planner::Built Planner::InsertSort(Built child, PhysicalPlan* plan,
-                                   int depth) {
+                                   int depth, QueryCounters* ctrs) {
   (void)depth;
   // Planner-inserted sorts always feed code-consuming operators (merge
   // join, dedup, set operation), so the configured sort must deliver
@@ -369,7 +405,7 @@ Planner::Built Planner::InsertSort(Built child, PhysicalPlan* plan,
   // of deep inside a downstream operator's precondition check.
   OVC_CHECK(options_.sort_config.use_ovc ||
             options_.sort_config.naive_output_codes);
-  auto sort = std::make_unique<SortOperator>(child.op, counters_, temp_,
+  auto sort = std::make_unique<SortOperator>(child.op, ctrs, temp_,
                                              options_.sort_config);
   Built built;
   built.prop = SortOutput(child.op->schema(), options_.sort_config);
@@ -380,8 +416,81 @@ Planner::Built Planner::InsertSort(Built child, PhysicalPlan* plan,
   return built;
 }
 
+Operator* Planner::BuildExchangeRegion(
+    const std::vector<Operator*>& children,
+    const std::vector<QueryCounters*>& child_counters,
+    SplitExchange::Policy policy, uint32_t hash_prefix,
+    QueryCounters* merge_counters, PhysicalPlan* plan,
+    const std::function<std::unique_ptr<Operator>(
+        const std::vector<Operator*>& parts, QueryCounters* wc)>&
+        make_worker) {
+  OVC_CHECK(children.size() == child_counters.size());
+  const uint32_t workers = options_.parallelism;
+  // A split pumps the shared child from whichever worker thread pulls
+  // first, all under its pump mutex -- so it shares the region counters
+  // its child subtree was built with (one instance per split, rolled up
+  // after the run, never the consumer-side counters).
+  std::vector<SplitExchange*> splits;
+  for (size_t c = 0; c < children.size(); ++c) {
+    plan->algorithms_.push_back(PhysicalAlg::kSplitExchange);
+    splits.push_back(plan->OwnSplit(std::make_unique<SplitExchange>(
+        children[c], workers, policy, child_counters[c],
+        std::vector<uint64_t>{}, hash_prefix)));
+  }
+  std::vector<Operator*> worker_ops;
+  for (uint32_t w = 0; w < workers; ++w) {
+    std::vector<Operator*> parts;
+    parts.reserve(splits.size());
+    for (SplitExchange* split : splits) parts.push_back(split->partition(w));
+    worker_ops.push_back(
+        plan->Own(make_worker(parts, plan->NewWorkerCounters())));
+  }
+  plan->algorithms_.push_back(PhysicalAlg::kMergeExchange);
+  if (workers > plan->parallel_workers_) plan->parallel_workers_ = workers;
+  return plan->Own(std::make_unique<MergeExchange>(worker_ops, merge_counters,
+                                                   options_.exchange));
+}
+
+namespace {
+
+const char* SplitPolicyName(SplitExchange::Policy policy) {
+  switch (policy) {
+    case SplitExchange::Policy::kHashKey:
+      return "hash";
+    case SplitExchange::Policy::kRoundRobin:
+      return "round-robin";
+    case SplitExchange::Policy::kRangeFirstColumn:
+      return "range";
+  }
+  return "unknown";
+}
+
+/// Explain block for an exchange-parallel region: merge-exchange over
+/// `workers` copies of the worker operator (`worker_line`), fed by one
+/// splitting exchange per input subtree. `part_prop` is the per-partition
+/// property the split preserves (the filter theorem keeps a sorted coded
+/// child sorted and coded within every partition).
+std::string ExplainParallelRegion(uint32_t workers,
+                                  const OrderProperty& out_prop,
+                                  const std::string& worker_line,
+                                  SplitExchange::Policy policy,
+                                  const OrderProperty& part_prop,
+                                  const std::vector<std::string>& inputs) {
+  std::string split_block;
+  for (const std::string& in : inputs) {
+    split_block += ExplainLine(PhysicalAlg::kSplitExchange, part_prop,
+                               SplitPolicyName(policy)) +
+                   IndentBlock(in);
+  }
+  return ExplainLine(PhysicalAlg::kMergeExchange, out_prop,
+                     std::to_string(workers) + " workers") +
+         IndentBlock(worker_line + IndentBlock(split_block));
+}
+
+}  // namespace
+
 Planner::Built Planner::BuildNode(LogicalNode* node, PhysicalPlan* plan,
-                                  int depth) {
+                                  int depth, QueryCounters* ctrs) {
   Built result;
   std::string explain;
 
@@ -396,7 +505,7 @@ Planner::Built Planner::BuildNode(LogicalNode* node, PhysicalPlan* plan,
     }
 
     case LogicalOp::kFilter: {
-      Built child = BuildNode(node->children[0].get(), plan, depth + 1);
+      Built child = BuildNode(node->children[0].get(), plan, depth + 1, ctrs);
       result.op = plan->Own(std::make_unique<FilterOperator>(
           child.op, node->predicate, node->block_predicate));
       result.prop = FilterOutput(child.prop);
@@ -407,7 +516,7 @@ Planner::Built Planner::BuildNode(LogicalNode* node, PhysicalPlan* plan,
     }
 
     case LogicalOp::kProject: {
-      Built child = BuildNode(node->children[0].get(), plan, depth + 1);
+      Built child = BuildNode(node->children[0].get(), plan, depth + 1, ctrs);
       result.op = plan->Own(std::make_unique<ProjectOperator>(
           child.op, node->schema, node->mapping));
       result.prop = ProjectOutput(*node, child.prop);
@@ -418,38 +527,75 @@ Planner::Built Planner::BuildNode(LogicalNode* node, PhysicalPlan* plan,
     }
 
     case LogicalOp::kJoin: {
-      Built left = BuildNode(node->children[0].get(), plan, depth + 1);
-      Built right = BuildNode(node->children[1].get(), plan, depth + 1);
+      // Pre-decide on the *inferred* child properties (inference runs the
+      // same decision rules, so it agrees with the post-build decision):
+      // a parallel merge join's input subtrees -- including any inserted
+      // sorts -- execute on producer threads under their split's pump
+      // mutex, so each side must be built with its own region counters
+      // rather than the consumer thread's.
+      const bool pre_parallel_join =
+          ParallelEnabled() &&
+          DecideJoin(*node, node->children[0]->inferred,
+                     node->children[1]->inferred, options_)
+                  .alg == PhysicalAlg::kMergeJoin;
+      QueryCounters* left_ctrs =
+          pre_parallel_join ? plan->NewWorkerCounters() : ctrs;
+      QueryCounters* right_ctrs =
+          pre_parallel_join ? plan->NewWorkerCounters() : ctrs;
+      Built left = BuildNode(node->children[0].get(), plan, depth + 1,
+                             left_ctrs);
+      Built right = BuildNode(node->children[1].get(), plan, depth + 1,
+                              right_ctrs);
       JoinDecision d = DecideJoin(*node, left.prop, right.prop, options_);
       if (d.sort_left) {
         left.explain = ExplainLine(PhysicalAlg::kSort, SortOutput(
             node->children[0]->schema, options_.sort_config), "inserted") +
             IndentBlock(left.explain);
-        left = InsertSort(left, plan, depth + 1);
+        left = InsertSort(left, plan, depth + 1, left_ctrs);
       }
       if (d.sort_right) {
         right.explain = ExplainLine(PhysicalAlg::kSort, SortOutput(
             node->children[1]->schema, options_.sort_config), "inserted") +
             IndentBlock(right.explain);
-        right = InsertSort(right, plan, depth + 1);
+        right = InsertSort(right, plan, depth + 1, right_ctrs);
       }
       Operator* join = nullptr;
+      const bool parallel_join =
+          pre_parallel_join && d.alg == PhysicalAlg::kMergeJoin;
       switch (d.alg) {
         case PhysicalAlg::kMergeJoin:
-          join = plan->Own(std::make_unique<MergeJoin>(
-              left.op, right.op, node->join_type, counters_));
+          if (parallel_join) {
+            // Co-partitioned parallel merge join: hash-split both (sorted,
+            // coded) inputs on the join key with the same hash, so each
+            // key lands in the same partition index on both sides; one
+            // merge join per partition pair; merge-exchange restores the
+            // single sorted coded output stream.
+            const JoinType type = node->join_type;
+            join = BuildExchangeRegion(
+                {left.op, right.op}, {left_ctrs, right_ctrs},
+                SplitExchange::Policy::kHashKey,
+                node->children[0]->schema.key_arity(), ctrs, plan,
+                [type](const std::vector<Operator*>& parts,
+                       QueryCounters* wc) {
+                  return std::make_unique<MergeJoin>(parts[0], parts[1],
+                                                     type, wc);
+                });
+          } else {
+            join = plan->Own(std::make_unique<MergeJoin>(
+                left.op, right.op, node->join_type, ctrs));
+          }
           break;
         case PhysicalAlg::kOrderPreservingHashJoin:
           join = plan->Own(std::make_unique<OrderPreservingHashJoin>(
               left.op, right.op, node->children[0]->schema.key_arity(),
               ToHashType(node->join_type), options_.hash_memory_rows,
-              counters_));
+              ctrs));
           break;
         case PhysicalAlg::kGraceHashJoin:
           join = plan->Own(std::make_unique<GraceHashJoin>(
               left.op, right.op, node->children[0]->schema.key_arity(),
               ToHashType(node->join_type), options_.hash_memory_rows,
-              counters_, temp_, options_.hash_partitions));
+              ctrs, temp_, options_.hash_partitions));
           break;
         default:
           OVC_CHECK(false);
@@ -477,54 +623,117 @@ Planner::Built Planner::BuildNode(LogicalNode* node, PhysicalPlan* plan,
       result.op = join;
       result.prop = d.out;
       plan->algorithms_.push_back(d.alg);
-      explain = ExplainLine(d.alg, result.prop,
-                            JoinTypeName(node->join_type)) +
-                IndentBlock(left.explain) + IndentBlock(right.explain);
+      if (parallel_join) {
+        explain = ExplainParallelRegion(
+            options_.parallelism, result.prop,
+            ExplainLine(d.alg, result.prop,
+                        std::string(JoinTypeName(node->join_type)) +
+                            ", per worker"),
+            SplitExchange::Policy::kHashKey,
+            OrderProperty::Sorted(node->children[0]->schema.key_arity(),
+                                  /*ovc=*/true),
+            {left.explain, right.explain});
+      } else {
+        explain = ExplainLine(d.alg, result.prop,
+                              JoinTypeName(node->join_type)) +
+                  IndentBlock(left.explain) + IndentBlock(right.explain);
+      }
       break;
     }
 
     case LogicalOp::kAggregate: {
-      Built child = BuildNode(node->children[0].get(), plan, depth + 1);
+      // Parallel aggregation: hash-split on the grouping prefix co-locates
+      // every group in exactly one partition, so per-worker aggregation is
+      // exact and the merge-exchange output needs no re-aggregation. The
+      // in-stream flavor additionally needs child codes (split partitions
+      // keep them by the filter theorem; the merge consumes worker codes),
+      // the in-sort flavor produces its own. Pre-decide on the inferred
+      // child property: the child subtree of a split executes on producer
+      // threads, so it is built with region counters.
+      const auto parallel_agg_for = [&](const OrderProperty& child_prop) {
+        if (!ParallelEnabled() || node->group_prefix < 1) return false;
+        UnaryDecision p = DecideAggregate(*node, child_prop, options_);
+        return (p.alg == PhysicalAlg::kInStreamAggregate &&
+                child_prop.has_ovc) ||
+               p.alg == PhysicalAlg::kInSortAggregate;
+      };
+      const bool pre_parallel_agg =
+          parallel_agg_for(node->children[0]->inferred);
+      QueryCounters* region_ctrs =
+          pre_parallel_agg ? plan->NewWorkerCounters() : ctrs;
+      Built child = BuildNode(node->children[0].get(), plan, depth + 1,
+                              region_ctrs);
       UnaryDecision d = DecideAggregate(*node, child.prop, options_);
-      switch (d.alg) {
-        case PhysicalAlg::kInStreamAggregate: {
-          InStreamAggregate::Options agg_options;
-          agg_options.use_ovc_boundaries = child.prop.has_ovc;
-          result.op = plan->Own(std::make_unique<InStreamAggregate>(
-              child.op, node->group_prefix, node->aggregates, counters_,
-              agg_options));
-          break;
+      const bool parallel_agg =
+          pre_parallel_agg && parallel_agg_for(child.prop);
+      if (parallel_agg) {
+        const uint32_t group_prefix = node->group_prefix;
+        const std::vector<AggregateSpec>& aggregates = node->aggregates;
+        const bool in_stream = d.alg == PhysicalAlg::kInStreamAggregate;
+        TempFileManager* temp = temp_;
+        const SortConfig& sort_config = options_.sort_config;
+        result.op = BuildExchangeRegion(
+            {child.op}, {region_ctrs}, SplitExchange::Policy::kHashKey,
+            group_prefix, ctrs, plan,
+            [=](const std::vector<Operator*>& parts,
+                QueryCounters* wc) -> std::unique_ptr<Operator> {
+              if (in_stream) {
+                return std::make_unique<InStreamAggregate>(
+                    parts[0], group_prefix, aggregates, wc);
+              }
+              return std::make_unique<InSortAggregate>(
+                  parts[0], group_prefix, aggregates, wc, temp, sort_config);
+            });
+      } else {
+        switch (d.alg) {
+          case PhysicalAlg::kInStreamAggregate: {
+            InStreamAggregate::Options agg_options;
+            agg_options.use_ovc_boundaries = child.prop.has_ovc;
+            result.op = plan->Own(std::make_unique<InStreamAggregate>(
+                child.op, node->group_prefix, node->aggregates, ctrs,
+                agg_options));
+            break;
+          }
+          case PhysicalAlg::kInSortAggregate:
+            result.op = plan->Own(std::make_unique<InSortAggregate>(
+                child.op, node->group_prefix, node->aggregates, ctrs,
+                temp_, options_.sort_config));
+            break;
+          case PhysicalAlg::kHashAggregate:
+            result.op = plan->Own(std::make_unique<HashAggregate>(
+                child.op, node->group_prefix, node->aggregates,
+                options_.hash_memory_rows, ctrs, temp_,
+                options_.hash_partitions));
+            break;
+          default:
+            OVC_CHECK(false);
         }
-        case PhysicalAlg::kInSortAggregate:
-          result.op = plan->Own(std::make_unique<InSortAggregate>(
-              child.op, node->group_prefix, node->aggregates, counters_,
-              temp_, options_.sort_config));
-          break;
-        case PhysicalAlg::kHashAggregate:
-          result.op = plan->Own(std::make_unique<HashAggregate>(
-              child.op, node->group_prefix, node->aggregates,
-              options_.hash_memory_rows, counters_, temp_,
-              options_.hash_partitions));
-          break;
-        default:
-          OVC_CHECK(false);
       }
       result.prop = d.out;
       plan->algorithms_.push_back(d.alg);
-      explain = ExplainLine(d.alg, result.prop,
-                            "group=" + std::to_string(node->group_prefix)) +
-                IndentBlock(child.explain);
+      if (parallel_agg) {
+        explain = ExplainParallelRegion(
+            options_.parallelism, result.prop,
+            ExplainLine(d.alg, result.prop,
+                        "group=" + std::to_string(node->group_prefix) +
+                            ", per worker"),
+            SplitExchange::Policy::kHashKey, child.prop, {child.explain});
+      } else {
+        explain = ExplainLine(d.alg, result.prop,
+                              "group=" + std::to_string(node->group_prefix)) +
+                  IndentBlock(child.explain);
+      }
       break;
     }
 
     case LogicalOp::kDistinct: {
-      Built child = BuildNode(node->children[0].get(), plan, depth + 1);
+      Built child = BuildNode(node->children[0].get(), plan, depth + 1, ctrs);
       UnaryDecision d = DecideDistinct(*node, child.prop, options_);
       if (d.sort_child) {
         child.explain = ExplainLine(PhysicalAlg::kSort, SortOutput(
             node->children[0]->schema, options_.sort_config), "inserted") +
             IndentBlock(child.explain);
-        child = InsertSort(child, plan, depth + 1);
+        child = InsertSort(child, plan, depth + 1, ctrs);
       }
       switch (d.alg) {
         case PhysicalAlg::kDedup:
@@ -533,14 +742,14 @@ Planner::Built Planner::BuildNode(LogicalNode* node, PhysicalPlan* plan,
         case PhysicalAlg::kInSortDistinct:
           result.op = plan->Own(std::make_unique<InSortAggregate>(
               child.op, node->schema.key_arity(),
-              std::vector<AggregateSpec>(), counters_, temp_,
+              std::vector<AggregateSpec>(), ctrs, temp_,
               options_.sort_config));
           break;
         case PhysicalAlg::kHashDistinct:
           result.op = plan->Own(std::make_unique<HashAggregate>(
               child.op, node->schema.key_arity(),
               std::vector<AggregateSpec>(), options_.hash_memory_rows,
-              counters_, temp_, options_.hash_partitions));
+              ctrs, temp_, options_.hash_partitions));
           break;
         default:
           OVC_CHECK(false);
@@ -553,22 +762,22 @@ Planner::Built Planner::BuildNode(LogicalNode* node, PhysicalPlan* plan,
     }
 
     case LogicalOp::kSetOp: {
-      Built left = BuildNode(node->children[0].get(), plan, depth + 1);
-      Built right = BuildNode(node->children[1].get(), plan, depth + 1);
+      Built left = BuildNode(node->children[0].get(), plan, depth + 1, ctrs);
+      Built right = BuildNode(node->children[1].get(), plan, depth + 1, ctrs);
       if (!SortedWithCodesOn(left.prop, node->children[0]->schema)) {
         left.explain = ExplainLine(PhysicalAlg::kSort, SortOutput(
             node->children[0]->schema, options_.sort_config), "inserted") +
             IndentBlock(left.explain);
-        left = InsertSort(left, plan, depth + 1);
+        left = InsertSort(left, plan, depth + 1, ctrs);
       }
       if (!SortedWithCodesOn(right.prop, node->children[1]->schema)) {
         right.explain = ExplainLine(PhysicalAlg::kSort, SortOutput(
             node->children[1]->schema, options_.sort_config), "inserted") +
             IndentBlock(right.explain);
-        right = InsertSort(right, plan, depth + 1);
+        right = InsertSort(right, plan, depth + 1, ctrs);
       }
       result.op = plan->Own(std::make_unique<SetOperation>(
-          left.op, right.op, node->set_op, node->set_all, counters_));
+          left.op, right.op, node->set_op, node->set_all, ctrs));
       result.prop =
           OrderProperty::Sorted(node->schema.key_arity(), /*ovc=*/true);
       plan->algorithms_.push_back(PhysicalAlg::kSetOperation);
@@ -579,32 +788,70 @@ Planner::Built Planner::BuildNode(LogicalNode* node, PhysicalPlan* plan,
     }
 
     case LogicalOp::kSort: {
-      Built child = BuildNode(node->children[0].get(), plan, depth + 1);
+      // The flagship parallel shape: round-robin split of the raw input,
+      // partition-parallel run generation (one sort per worker, each the
+      // sole producer of its codes), and a code-preserving merge-exchange
+      // -- requires the configured sort to deliver output codes, which is
+      // what the merging exchange consumes. Pre-decide on the inferred
+      // child property so the subtree below the split is built with
+      // region counters (it executes on producer threads).
+      const auto parallel_sort_for = [&](const OrderProperty& child_prop) {
+        if (!ParallelEnabled()) return false;
+        UnaryDecision p = DecideSort(*node, child_prop, options_);
+        return p.alg == PhysicalAlg::kSort && p.out.has_ovc;
+      };
+      const bool pre_parallel_sort =
+          parallel_sort_for(node->children[0]->inferred);
+      QueryCounters* region_ctrs =
+          pre_parallel_sort ? plan->NewWorkerCounters() : ctrs;
+      Built child = BuildNode(node->children[0].get(), plan, depth + 1,
+                              region_ctrs);
       UnaryDecision d = DecideSort(*node, child.prop, options_);
+      const bool parallel_sort =
+          pre_parallel_sort && parallel_sort_for(child.prop);
       if (d.alg == PhysicalAlg::kElidedSort) {
         result.op = child.op;  // the logical sort vanishes entirely
         ++plan->elided_sorts_;
+      } else if (parallel_sort) {
+        TempFileManager* temp = temp_;
+        const SortConfig& sort_config = options_.sort_config;
+        result.op = BuildExchangeRegion(
+            {child.op}, {region_ctrs}, SplitExchange::Policy::kRoundRobin,
+            0, ctrs, plan,
+            [temp, &sort_config](const std::vector<Operator*>& parts,
+                                 QueryCounters* wc) {
+              return std::make_unique<SortOperator>(parts[0], wc, temp,
+                                                    sort_config);
+            });
+        ++plan->explicit_sorts_;
       } else {
         result.op = plan->Own(std::make_unique<SortOperator>(
-            child.op, counters_, temp_, options_.sort_config));
+            child.op, ctrs, temp_, options_.sort_config));
         ++plan->explicit_sorts_;
       }
       result.prop = d.out;
       plan->algorithms_.push_back(d.alg);
-      explain = ExplainLine(d.alg, result.prop, "") +
-                IndentBlock(child.explain);
+      if (parallel_sort) {
+        explain = ExplainParallelRegion(
+            options_.parallelism, result.prop,
+            ExplainLine(d.alg, result.prop, "per worker"),
+            SplitExchange::Policy::kRoundRobin, child.prop, {child.explain});
+      } else {
+        explain = ExplainLine(d.alg, result.prop, "") +
+                  IndentBlock(child.explain);
+      }
       break;
     }
 
     case LogicalOp::kTopK: {
-      Built child = BuildNode(node->children[0].get(), plan, depth + 1);
+      Built child = BuildNode(node->children[0].get(), plan, depth + 1, ctrs);
       UnaryDecision d = DecideTopK(*node, child.prop, options_);
       Operator* input = child.op;
       if (d.sort_child) {
         child.explain = ExplainLine(PhysicalAlg::kSort, SortOutput(
             node->children[0]->schema, options_.sort_config), "inserted") +
             IndentBlock(child.explain);
-        child = InsertSort(child, plan, depth + 1);
+        child = InsertSort(child, plan, depth + 1, ctrs);
         input = child.op;
       }
       result.op =

@@ -26,6 +26,20 @@
 //    in-sort or hash duplicate removal over unsorted input.
 //  * Set operations are inherently sort-based; sorts are inserted only for
 //    children that lack order or codes.
+//  * Parallelism (Section 4.10): with `parallelism` > 1 the planner emits
+//    exchange-parallel shapes built from a splitting exchange, one worker
+//    pipeline per partition, and a merging exchange that restores a single
+//    sorted coded stream. A splitting shuffle keeps per-partition codes by
+//    the filter theorem; the merging shuffle is "very similar to a merge
+//    step in an external merge sort". Three shapes are wired: parallel
+//    sort (round-robin split -> per-worker sort -> merge-exchange),
+//    parallel aggregation (hash-split on the grouping prefix, co-locating
+//    groups -> per-worker in-stream/in-sort aggregate -> merge-exchange),
+//    and parallel merge join (both inputs hash-split on the join key into
+//    co-partitioned pairs -> per-worker merge join -> merge-exchange).
+//    Each worker pipeline gets its own QueryCounters (the MergeExchange
+//    threading contract); PhysicalPlan::RollUpWorkerCounters folds them
+//    into the session counters after a run so accounting stays exact.
 //
 // Every physical join is normalized to the canonical merge-join output
 // layout (join key, left payloads, right payloads, match indicator), so the
@@ -41,6 +55,7 @@
 
 #include "common/counters.h"
 #include "common/temp_file.h"
+#include "exec/exchange.h"
 #include "exec/operator.h"
 #include "plan/logical_plan.h"
 #include "plan/order_property.h"
@@ -66,6 +81,8 @@ enum class PhysicalAlg : uint8_t {
   kSort,        // a SortOperator: explicit, or inserted by the planner
   kElidedSort,  // a logical Sort satisfied by its input's properties
   kLimit,
+  kSplitExchange,  // one-to-many splitting shuffle feeding worker pipelines
+  kMergeExchange,  // many-to-one order-preserving merging shuffle
 };
 
 /// Short name, e.g. "merge-join", "elided-sort".
@@ -93,11 +110,40 @@ struct PlannerOptions {
   uint64_t hash_memory_rows = uint64_t{1} << 20;
   /// Spill partitions for grace hash join / hash aggregation.
   uint32_t hash_partitions = 16;
+  /// Worker pipelines for exchange-parallel plan shapes; 1 keeps every
+  /// plan serial. With N > 1 the planner splits eligible sorts,
+  /// aggregations, and merge joins across N partitions, runs one worker
+  /// pipeline per partition (each with its own QueryCounters), and
+  /// restores a single sorted coded stream with a merging exchange.
+  uint32_t parallelism = 1;
+  /// Merging-exchange knobs for parallel shapes. `threaded` true runs one
+  /// producer thread per worker pipeline (real parallelism); false pulls
+  /// workers inline on one thread (deterministic mode for tests and
+  /// benchmarks). Parallel shapes require `use_ovc` (the exchange must
+  /// reproduce codes for downstream operators); with `use_ovc` false the
+  /// planner falls back to serial shapes.
+  MergeExchange::Options exchange;
 };
 
 /// An executable physical plan: owns its operator tree.
 class PhysicalPlan {
  public:
+  PhysicalPlan() = default;
+  PhysicalPlan(PhysicalPlan&&) = default;
+  /// Move *assignment* is deliberately unavailable: a defaulted member-wise
+  /// move would destroy the overwritten plan's operators front to back,
+  /// breaking the parents-first teardown the destructor guarantees. Hold
+  /// reassignable plans behind std::unique_ptr (as PlanExecutor does).
+  PhysicalPlan& operator=(PhysicalPlan&&) = delete;
+  /// Destroys the operators in reverse construction order -- parents
+  /// before the children they pull from. Children are always Own()ed
+  /// before their parent, so in particular a MergeExchange (whose
+  /// destructor cancels and joins producer threads on the
+  /// destroyed-without-Close path) goes before the worker operators those
+  /// threads are still driving; forward vector destruction would free the
+  /// workers under the live threads.
+  ~PhysicalPlan();
+
   /// Root of the operator tree (owned by the plan).
   Operator* root() const { return root_; }
 
@@ -119,6 +165,22 @@ class PhysicalPlan {
   /// All algorithm choices, one per physical node, in plan-tree order.
   const std::vector<PhysicalAlg>& algorithms() const { return algorithms_; }
 
+  /// Worker pipelines of the widest exchange-parallel region (0 when the
+  /// plan is serial).
+  uint32_t parallel_workers() const { return parallel_workers_; }
+
+  /// Counters the planner created for concurrent parts of the plan: one
+  /// per worker pipeline plus one per splitting exchange (the MergeExchange
+  /// contract -- concurrent pipelines must not share a counters instance).
+  const std::vector<std::unique_ptr<QueryCounters>>& worker_counters() const {
+    return worker_counters_;
+  }
+
+  /// Folds all worker counters into `into` (no-op when null) and resets
+  /// them, so comparison-count accounting stays exact across repeated
+  /// runs. PlanExecutor calls this after every run of a parallel plan.
+  void RollUpWorkerCounters(QueryCounters* into);
+
   /// Multi-line indented rendering with per-node order properties.
   std::string ToString() const { return explain_; }
 
@@ -130,12 +192,32 @@ class PhysicalPlan {
     return operators_.back().get();
   }
 
+  SplitExchange* OwnSplit(std::unique_ptr<SplitExchange> split) {
+    splits_.push_back(std::move(split));
+    return splits_.back().get();
+  }
+
+  QueryCounters* NewWorkerCounters() {
+    worker_counters_.push_back(std::make_unique<QueryCounters>());
+    return worker_counters_.back().get();
+  }
+
+  // Member declaration order is destruction order in reverse: the
+  // destructor empties `operators_` first (itself back to front, see
+  // ~PhysicalPlan), then the split exchanges, then the counters -- so any
+  // producer threads joined during operator destruction can still touch
+  // partition streams and worker counters.
+  std::vector<std::unique_ptr<QueryCounters>> worker_counters_;
+  /// Splitting exchanges are not Operators (they fan out into partition
+  /// streams), so the plan owns them separately.
+  std::vector<std::unique_ptr<SplitExchange>> splits_;
   std::vector<std::unique_ptr<Operator>> operators_;
   Operator* root_ = nullptr;
   OrderProperty root_order_;
   uint32_t inserted_sorts_ = 0;
   uint32_t explicit_sorts_ = 0;
   uint32_t elided_sorts_ = 0;
+  uint32_t parallel_workers_ = 0;
   std::vector<PhysicalAlg> algorithms_;
   std::string explain_;
 };
@@ -162,9 +244,40 @@ class Planner {
     std::string explain;
   };
 
-  Built BuildNode(LogicalNode* node, PhysicalPlan* plan, int depth);
-  /// Wraps `child` in a planner-inserted SortOperator.
-  Built InsertSort(Built child, PhysicalPlan* plan, int depth);
+  /// `ctrs` is the counters instance for operators this subtree constructs
+  /// -- the session counters at the root, a region-owned instance inside a
+  /// parallel region (everything below a splitting exchange executes on
+  /// whichever producer thread pumps the split, so it must never share the
+  /// consumer thread's counters).
+  Built BuildNode(LogicalNode* node, PhysicalPlan* plan, int depth,
+                  QueryCounters* ctrs);
+  /// Wraps `child` in a planner-inserted SortOperator metered by `ctrs`.
+  Built InsertSort(Built child, PhysicalPlan* plan, int depth,
+                   QueryCounters* ctrs);
+
+  /// True when exchange-parallel shapes are enabled and usable.
+  bool ParallelEnabled() const {
+    return options_.parallelism > 1 && options_.exchange.use_ovc;
+  }
+  /// Splits each child into `parallelism` co-indexed partitions (one
+  /// SplitExchange per child, same policy/prefix, so hash partitions are
+  /// co-located across children), builds one worker operator per partition
+  /// index via `make_worker` (handed that index's partition streams and a
+  /// fresh per-worker QueryCounters), and merges the worker outputs back
+  /// into one stream. Returns the merging exchange.
+  ///
+  /// `child_counters[i]` is the region counters instance child i's subtree
+  /// was built with; the i-th split shares it (subtree pulls and split
+  /// routing both happen under that split's pump mutex). `merge_counters`
+  /// meters the merging exchange itself, on the consumer thread.
+  Operator* BuildExchangeRegion(
+      const std::vector<Operator*>& children,
+      const std::vector<QueryCounters*>& child_counters,
+      SplitExchange::Policy policy, uint32_t hash_prefix,
+      QueryCounters* merge_counters, PhysicalPlan* plan,
+      const std::function<std::unique_ptr<Operator>(
+          const std::vector<Operator*>& parts, QueryCounters* wc)>&
+          make_worker);
 
   QueryCounters* counters_;
   TempFileManager* temp_;

@@ -49,6 +49,11 @@ ExecutionResult PlanExecutor::Run(PhysicalPlan* plan) {
     result.rows.AppendRows(block.data(), n);
   }
   root->Close();
+  // Parallel plans meter each worker pipeline through its own counters
+  // (the MergeExchange threading contract); fold them into the session
+  // counters now that every producer thread has joined, so comparison
+  // accounting is exact and repeated runs do not double-count.
+  plan->RollUpWorkerCounters(counters_);
 
   if (validate) {
     result.validated = true;

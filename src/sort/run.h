@@ -8,6 +8,7 @@
 
 #include "core/ovc.h"
 #include "pq/loser_tree.h"
+#include "row/row_block.h"
 #include "row/row_buffer.h"
 
 namespace ovc {
@@ -23,6 +24,15 @@ class InMemoryRun {
   void Append(const uint64_t* row, Ovc code) {
     rows_.AppendRow(row);
     codes_.push_back(code);
+  }
+
+  /// Bulk-appends all rows and codes of `block` (widths must match). One
+  /// contiguous copy instead of per-row appends -- the batched path of the
+  /// exchange producer threads.
+  void AppendBlock(const RowBlock& block) {
+    OVC_DCHECK(block.width() == rows_.width());
+    rows_.AppendRows(block.data(), block.size());
+    codes_.insert(codes_.end(), block.codes(), block.codes() + block.size());
   }
 
   size_t size() const { return rows_.size(); }

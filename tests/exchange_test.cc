@@ -1,7 +1,8 @@
 // Order-preserving shuffle (Section 4.10): splitting exchange with
 // per-partition filter-theorem codes, merging exchange (threaded and
-// inline).
+// inline), child lifecycle, re-open, and threaded shutdown paths.
 
+#include <memory>
 #include <vector>
 
 #include <gtest/gtest.h>
@@ -18,6 +19,34 @@ using ::ovc::testing::DrainValidated;
 using ::ovc::testing::MakeTable;
 using ::ovc::testing::RowVec;
 using ::ovc::testing::ToRowVec;
+
+/// Pass-through wrapper that counts lifecycle calls on the wrapped child.
+class LifecycleSpy : public Operator {
+ public:
+  explicit LifecycleSpy(Operator* child) : child_(child) {}
+
+  void Open() override {
+    ++opens;
+    child_->Open();
+  }
+  bool Next(RowRef* out) override { return child_->Next(out); }
+  uint32_t NextBatch(RowBlock* out) override {
+    return child_->NextBatch(out);
+  }
+  void Close() override {
+    ++closes;
+    child_->Close();
+  }
+  const Schema& schema() const override { return child_->schema(); }
+  bool sorted() const override { return child_->sorted(); }
+  bool has_ovc() const override { return child_->has_ovc(); }
+
+  int opens = 0;
+  int closes = 0;
+
+ private:
+  Operator* child_;
+};
 
 InMemoryRun RunFromSorted(const Schema& schema, const RowBuffer& sorted) {
   OvcCodec codec(&schema);
@@ -107,6 +136,96 @@ TEST(SplitExchange, InterleavedConsumptionStaysValid) {
   EXPECT_EQ(total, 300u);
 }
 
+TEST(SplitExchange, ChildObservesBalancedOpenClose) {
+  // The shared child is opened lazily once per cycle and closed exactly
+  // once -- when every partition stream has been closed -- even when the
+  // partitions are drained strictly one after another (rows for later
+  // partitions stay buffered across the earlier partitions' Close()).
+  Schema schema(2, 1);
+  RowBuffer table = MakeTable(schema, 400, 4, /*seed=*/7, /*sorted=*/true);
+  InMemoryRun run = RunFromSorted(schema, table);
+  RunScan scan(&schema, &run);
+  LifecycleSpy spy(&scan);
+  SplitExchange split(&spy, 3, SplitExchange::Policy::kRoundRobin, nullptr);
+
+  for (int cycle = 1; cycle <= 2; ++cycle) {
+    RowVec all;
+    for (uint32_t i = 0; i < 3; ++i) {
+      RowVec part = DrainValidated(split.partition(i));
+      for (auto& row : part) all.push_back(std::move(row));
+      if (i + 1 < 3) {
+        // Mid-cycle: some streams closed, others not -- the child must
+        // stay open (its buffered rows feed the remaining partitions).
+        EXPECT_EQ(spy.closes, cycle - 1) << "cycle " << cycle;
+      }
+    }
+    // All three streams closed: the child observed exactly one
+    // Open()/Close() pair per cycle, and a fresh cycle rescans it.
+    EXPECT_EQ(spy.opens, cycle);
+    EXPECT_EQ(spy.closes, cycle);
+    RowVec expected = ToRowVec(table);
+    Canonicalize(&all);
+    Canonicalize(&expected);
+    EXPECT_EQ(all, expected) << "cycle " << cycle;
+  }
+}
+
+TEST(SplitExchange, UnsortedChildFeedsParallelSortShape) {
+  // An unsorted child is accepted (the front half of the parallel-sort
+  // shape): partition streams are unsorted, code-free, and cover the
+  // input.
+  Schema schema(2, 1);
+  RowBuffer table = MakeTable(schema, 500, 5, /*seed=*/17, /*sorted=*/false);
+  BufferScan scan(&schema, &table);
+  SplitExchange split(&scan, 4, SplitExchange::Policy::kRoundRobin, nullptr);
+  RowVec all;
+  for (uint32_t i = 0; i < 4; ++i) {
+    EXPECT_FALSE(split.partition(i)->sorted());
+    EXPECT_FALSE(split.partition(i)->has_ovc());
+    RowVec part = DrainValidated(split.partition(i), /*check_codes=*/false);
+    for (auto& row : part) all.push_back(std::move(row));
+  }
+  RowVec expected = ToRowVec(table);
+  Canonicalize(&all);
+  Canonicalize(&expected);
+  EXPECT_EQ(all, expected);
+}
+
+TEST(SplitExchange, BatchPullMatchesRowPull) {
+  // The partition streams' real NextBatch path yields exactly the
+  // row-at-a-time stream, block boundary codes included.
+  Schema schema(3, 1);
+  RowBuffer table = MakeTable(schema, 700, 4, /*seed=*/23, /*sorted=*/true);
+  InMemoryRun run = RunFromSorted(schema, table);
+
+  RunScan row_scan(&schema, &run);
+  SplitExchange row_split(&row_scan, 3, SplitExchange::Policy::kHashKey,
+                          nullptr);
+  RunScan batch_scan(&schema, &run);
+  SplitExchange batch_split(&batch_scan, 3, SplitExchange::Policy::kHashKey,
+                            nullptr);
+
+  for (uint32_t i = 0; i < 3; ++i) {
+    RowVec expected = DrainValidated(row_split.partition(i));
+    Operator* part = batch_split.partition(i);
+    part->Open();
+    OvcStreamChecker checker(&schema);
+    RowVec got;
+    RowBlock block(schema.total_columns(), /*capacity_rows=*/64);
+    uint32_t n;
+    while ((n = part->NextBatch(&block)) > 0) {
+      for (uint32_t r = 0; r < n; ++r) {
+        ASSERT_TRUE(checker.Observe(block.row(r), block.code(r)))
+            << checker.error();
+        got.emplace_back(block.row(r),
+                         block.row(r) + schema.total_columns());
+      }
+    }
+    part->Close();
+    EXPECT_EQ(got, expected) << "partition " << i;
+  }
+}
+
 class MergeExchangeTest : public ::testing::TestWithParam<bool> {};
 
 TEST_P(MergeExchangeTest, MergesPartitionsBackToOneValidStream) {
@@ -144,6 +263,182 @@ INSTANTIATE_TEST_SUITE_P(Modes, MergeExchangeTest, ::testing::Bool(),
                          [](const ::testing::TestParamInfo<bool>& info) {
                            return info.param ? "threaded" : "inline";
                          });
+
+// Shared fixture bits for the threaded-lifecycle tests.
+struct MergeInputs {
+  MergeInputs(uint32_t inputs, uint64_t rows_each, uint32_t seed_base)
+      : schema(2) {
+    for (uint32_t i = 0; i < inputs; ++i) {
+      tables.push_back(MakeTable(schema, rows_each, 4,
+                                 /*seed=*/seed_base + i, /*sorted=*/true));
+    }
+    for (uint32_t i = 0; i < inputs; ++i) {
+      runs.push_back(
+          std::make_unique<InMemoryRun>(RunFromSorted(schema, tables[i])));
+      scans.push_back(std::make_unique<RunScan>(&schema, runs.back().get()));
+      ops.push_back(scans.back().get());
+    }
+  }
+
+  Schema schema;
+  std::vector<RowBuffer> tables;
+  std::vector<std::unique_ptr<InMemoryRun>> runs;
+  std::vector<std::unique_ptr<RunScan>> scans;
+  std::vector<Operator*> ops;
+};
+
+TEST(MergeExchange, ReopenAfterCloseRestartsCleanly) {
+  // A second Open() after Close() must not stack fresh queues, producers,
+  // and sources onto leftover state: both cycles must produce the exact
+  // same valid stream (RunScan supports rescans). Holds in both modes.
+  for (bool threaded : {true, false}) {
+    MergeInputs in(3, 300, /*seed_base=*/40);
+    MergeExchange::Options options;
+    options.threaded = threaded;
+    options.batch_rows = 32;
+    MergeExchange exchange(in.ops, nullptr, options);
+    RowVec first = DrainValidated(&exchange);
+    EXPECT_EQ(first.size(), 900u);
+    RowVec second = DrainValidated(&exchange);
+    EXPECT_EQ(first, second) << "threaded=" << threaded;
+  }
+}
+
+TEST(MergeExchange, ReopenWithoutCloseResetsLeftoverState) {
+  // Open() while a previous cycle is still live (no Close() in between)
+  // resets that cycle first instead of appending to it -- including
+  // closing inline-opened inputs, so every input sees balanced
+  // Open()/Close() in both modes.
+  for (bool threaded : {true, false}) {
+    MergeInputs in(3, 300, /*seed_base=*/50);
+    std::vector<std::unique_ptr<LifecycleSpy>> spies;
+    std::vector<Operator*> spied;
+    for (Operator* op : in.ops) {
+      spies.push_back(std::make_unique<LifecycleSpy>(op));
+      spied.push_back(spies.back().get());
+    }
+    MergeExchange::Options options;
+    options.threaded = threaded;
+    MergeExchange exchange(spied, nullptr, options);
+    exchange.Open();
+    RowRef ref;
+    for (int i = 0; i < 5; ++i) ASSERT_TRUE(exchange.Next(&ref));
+    // Re-open mid-stream; the fresh cycle must deliver the full stream.
+    RowVec all = DrainValidated(&exchange);
+    EXPECT_EQ(all.size(), 900u) << "threaded=" << threaded;
+    for (const auto& spy : spies) {
+      EXPECT_EQ(spy->opens, 2) << "threaded=" << threaded;
+      EXPECT_EQ(spy->closes, 2) << "threaded=" << threaded;
+    }
+  }
+}
+
+TEST(MergeExchange, CopyingConsumerSurvivesBatchBoundaries) {
+  // Regression for the RowRef lifetime contract (exec/operator.h): a
+  // queue-fed merge frees a producer batch when it pops the next one, so a
+  // consumer that copies each row before the next pull -- across many
+  // batch boundaries (tiny batch_rows forces them) -- must see the intact
+  // stream.
+  MergeInputs in(4, 250, /*seed_base=*/60);
+  MergeExchange::Options options;
+  options.batch_rows = 3;  // hundreds of boundaries
+  options.queue_batches = 2;
+  MergeExchange exchange(in.ops, nullptr, options);
+  RowVec out = DrainValidated(&exchange);  // copies every row, checks codes
+  RowVec expected;
+  for (const auto& t : in.tables) {
+    for (const auto& row : ToRowVec(t)) expected.push_back(row);
+  }
+  Canonicalize(&out);
+  Canonicalize(&expected);
+  EXPECT_EQ(out, expected);
+}
+
+TEST(MergeExchange, NextBatchDrainsWholeBlocks) {
+  // The devirtualized block output path: NextBatch pulls whole blocks out
+  // of the merge, with codes valid across block boundaries.
+  MergeInputs in(3, 400, /*seed_base=*/70);
+  MergeExchange::Options options;
+  options.batch_rows = 64;
+  MergeExchange exchange(in.ops, nullptr, options);
+  exchange.Open();
+  OvcStreamChecker checker(&in.schema);
+  uint64_t rows = 0;
+  RowBlock block(in.schema.total_columns(), /*capacity_rows=*/57);
+  uint32_t n;
+  while ((n = exchange.NextBatch(&block)) > 0) {
+    for (uint32_t r = 0; r < n; ++r) {
+      ASSERT_TRUE(checker.Observe(block.row(r), block.code(r)))
+          << checker.error();
+    }
+    rows += n;
+  }
+  exchange.Close();
+  EXPECT_EQ(rows, 1200u);
+}
+
+TEST(MergeExchange, EarlyCloseWhileProducersBlockedOnFullQueues) {
+  // Tight queues (1 batch deep) with large inputs guarantee the producers
+  // are parked in BoundedBatchQueue::Push when Close() lands mid-stream;
+  // Close must cancel, join, and leave the inputs closed.
+  MergeInputs in(3, 20000, /*seed_base=*/80);
+  std::vector<std::unique_ptr<LifecycleSpy>> spies;
+  std::vector<Operator*> spied;
+  for (Operator* op : in.ops) {
+    spies.push_back(std::make_unique<LifecycleSpy>(op));
+    spied.push_back(spies.back().get());
+  }
+  MergeExchange::Options options;
+  options.batch_rows = 16;
+  options.queue_batches = 1;
+  MergeExchange exchange(spied, nullptr, options);
+  exchange.Open();
+  RowRef ref;
+  for (int i = 0; i < 10; ++i) ASSERT_TRUE(exchange.Next(&ref));
+  exchange.Close();  // producers blocked on full queues: must not hang
+  for (const auto& spy : spies) {
+    EXPECT_EQ(spy->opens, 1);
+    EXPECT_EQ(spy->closes, 1);
+  }
+}
+
+TEST(MergeExchange, DestructorWithoutCloseJoinsProducers) {
+  MergeInputs in(3, 20000, /*seed_base=*/85);
+  {
+    MergeExchange::Options options;
+    options.batch_rows = 16;
+    options.queue_batches = 1;
+    MergeExchange exchange(in.ops, nullptr, options);
+    exchange.Open();
+    RowRef ref;
+    for (int i = 0; i < 10; ++i) ASSERT_TRUE(exchange.Next(&ref));
+    // Destructor with live, blocked producers: must cancel and join.
+  }
+}
+
+TEST(MergeExchange, DestructorWithoutCloseBalancesInlineInputs) {
+  // Inline mode opened the inputs on the consumer thread; destruction
+  // after Open() without Close() must still balance those opens.
+  MergeInputs in(3, 300, /*seed_base=*/87);
+  std::vector<std::unique_ptr<LifecycleSpy>> spies;
+  std::vector<Operator*> spied;
+  for (Operator* op : in.ops) {
+    spies.push_back(std::make_unique<LifecycleSpy>(op));
+    spied.push_back(spies.back().get());
+  }
+  {
+    MergeExchange::Options options;
+    options.threaded = false;
+    MergeExchange exchange(spied, nullptr, options);
+    exchange.Open();
+    RowRef ref;
+    for (int i = 0; i < 10; ++i) ASSERT_TRUE(exchange.Next(&ref));
+  }
+  for (const auto& spy : spies) {
+    EXPECT_EQ(spy->opens, 1);
+    EXPECT_EQ(spy->closes, 1);
+  }
+}
 
 TEST(MergeExchange, EarlyCloseJoinsProducers) {
   Schema schema(2);
