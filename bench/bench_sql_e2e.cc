@@ -1,0 +1,105 @@
+// SQL front-end end-to-end cost: Prepare (lex + parse + bind + plan)
+// versus execution, on a join + group-by query -- the front end is a thin
+// layer, so preparing should be microseconds against milliseconds of OVC
+// execution.
+//
+//   BM_SqlPrepare     -- full Prepare of the join+group-by statement
+//   BM_SqlExecute     -- re-running the prepared physical plan
+//   BM_SqlPrepareAndRun -- both, i.e. a cold one-shot query
+//   BM_SqlExecuteSimple -- a point-ish filter query, the front end's worst
+//                          ratio (tiny execution next to a fixed parse)
+
+#include <benchmark/benchmark.h>
+
+#include <memory>
+
+#include "bench_util.h"
+#include "sql/catalog.h"
+#include "sql/session.h"
+
+namespace ovc {
+namespace {
+
+constexpr uint64_t kLineitemRows = 200000;
+constexpr uint64_t kOrdersRows = 50000;
+constexpr uint64_t kDistinctKeys = 10000;
+
+const char kJoinGroupSql[] =
+    "SELECT o.orderkey, COUNT(*) AS n, SUM(l.qty) AS total "
+    "FROM orders o INNER JOIN lineitem l ON o.orderkey = l.orderkey "
+    "GROUP BY o.orderkey ORDER BY o.orderkey";
+
+const char kFilterSql[] =
+    "SELECT orderkey, qty FROM lineitem WHERE orderkey < 100 LIMIT 10";
+
+/// One shared catalog: table generation stays outside every timed region.
+sql::Catalog* SharedCatalog() {
+  static sql::Catalog* catalog = [] {
+    auto* c = new sql::Catalog();
+    sql::Catalog::GeneratedSpec spec;
+    spec.distinct_per_column = kDistinctKeys;
+    spec.seed = 1;
+    OVC_CHECK_OK(c->RegisterGenerated("lineitem", {"orderkey", "qty", "price"},
+                                      Schema(1, 2), kLineitemRows, spec));
+    spec.seed = 2;
+    spec.sorted = true;
+    OVC_CHECK_OK(c->RegisterGenerated("orders", {"orderkey", "custkey"},
+                                      Schema(1, 1), kOrdersRows, spec));
+    return c;
+  }();
+  return catalog;
+}
+
+void BM_SqlPrepare(benchmark::State& state) {
+  sql::SqlSession session(SharedCatalog());
+  for (auto _ : state) {
+    auto prepared = session.Prepare(kJoinGroupSql);
+    OVC_CHECK(prepared.ok());
+    benchmark::DoNotOptimize(prepared.value()->physical->root());
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_SqlPrepare);
+
+void BM_SqlExecute(benchmark::State& state) {
+  sql::SqlSession session(SharedCatalog());
+  auto prepared = session.Prepare(kJoinGroupSql);
+  OVC_CHECK(prepared.ok());
+  uint64_t rows = 0;
+  for (auto _ : state) {
+    sql::QueryResult result = session.Run(prepared.value().get());
+    rows = result.result.row_count();
+    benchmark::DoNotOptimize(rows);
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          (kLineitemRows + kOrdersRows));
+  state.counters["result_rows"] = static_cast<double>(rows);
+}
+BENCHMARK(BM_SqlExecute);
+
+void BM_SqlPrepareAndRun(benchmark::State& state) {
+  sql::SqlSession session(SharedCatalog());
+  for (auto _ : state) {
+    auto result = session.Run(kJoinGroupSql);
+    OVC_CHECK(result.ok());
+    benchmark::DoNotOptimize(result.value().result.row_count());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          (kLineitemRows + kOrdersRows));
+}
+BENCHMARK(BM_SqlPrepareAndRun);
+
+void BM_SqlExecuteSimple(benchmark::State& state) {
+  sql::SqlSession session(SharedCatalog());
+  auto prepared = session.Prepare(kFilterSql);
+  OVC_CHECK(prepared.ok());
+  for (auto _ : state) {
+    sql::QueryResult result = session.Run(prepared.value().get());
+    benchmark::DoNotOptimize(result.result.row_count());
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_SqlExecuteSimple);
+
+}  // namespace
+}  // namespace ovc

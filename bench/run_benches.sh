@@ -21,10 +21,10 @@ set -euo pipefail
 cd "$(dirname "$0")/.."
 
 BUILD_DIR=build
-OUT=${BENCH_OUT:-BENCH_PR3.json}
+OUT=${BENCH_OUT:-BENCH_PR4.json}
 MIN_TIME=0.5
 BENCHES=(bench_batch_pipeline bench_pq_merge bench_sort_ovc
-         bench_exchange_merge bench_parallel_sort)
+         bench_exchange_merge bench_parallel_sort bench_sql_e2e)
 
 while [[ $# -gt 0 ]]; do
   case "$1" in

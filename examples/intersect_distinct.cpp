@@ -1,12 +1,13 @@
-// Figure 5's two query plans for
+// Figure 5's query
 //
-//   select B from T1 intersect select B from T2
+//   SELECT a, b FROM t1 INTERSECT SELECT a, b FROM t2
 //
-// side by side: the hash-based plan (two hash aggregations + hash join,
-// three blocking operators) and the sort-based plan (two in-sort duplicate
-// removals + merge join, two blocking operators). Prints result sizes,
-// spill volumes, and comparison/hash counts -- the quantities behind
-// Figure 6's discussion.
+// through the SQL front end, against the hash-based alternative built by
+// hand. The SQL session plans the paper's sort-based shape -- two
+// planner-inserted sorts feeding the merge-style set operation, with
+// duplicate handling done on codes alone -- while the hand-built hash
+// plan (two hash aggregations + hash join, three blocking operators)
+// shows the spill/compare profile Figure 6 discusses.
 //
 //   ./build/examples/intersect_distinct [rows]
 
@@ -15,22 +16,22 @@
 
 #include "common/counters.h"
 #include "common/temp_file.h"
-#include "exec/dedup.h"
 #include "exec/hash_aggregate.h"
 #include "exec/hash_join.h"
-#include "exec/in_sort_aggregate.h"
-#include "exec/merge_join.h"
 #include "exec/scan.h"
-#include "exec/sort_operator.h"
 #include "row/generator.h"
+#include "sql/catalog.h"
+#include "sql/session.h"
 
 using namespace ovc;
 
 int main(int argc, char** argv) {
-  const uint64_t rows = argc > 1 ? std::strtoull(argv[1], nullptr, 10)
-                                 : 1000000;
+  const uint64_t rows =
+      argc > 1 ? std::strtoull(argv[1], nullptr, 10) : 1000000;
   const uint64_t memory_rows = rows / 10;  // the paper's 10:1 ratio
 
+  // Generate the tables once and register the buffers with the catalog,
+  // so the SQL plan and the hand-built baseline below share one copy.
   Schema schema(/*key_arity=*/2, /*payload_columns=*/0);
   RowBuffer t1(schema.total_columns()), t2(schema.total_columns());
   GeneratorConfig config;
@@ -41,25 +42,35 @@ int main(int argc, char** argv) {
   config.seed = 2;
   GenerateRows(schema, config, &t2);
 
+  sql::Catalog catalog;
+  OVC_CHECK_OK(
+      catalog.Register(plan::BufferSource("t1", &schema, &t1), {"a", "b"}));
+  OVC_CHECK_OK(
+      catalog.Register(plan::BufferSource("t2", &schema, &t2), {"a", "b"}));
+
   std::printf("T1 = T2 = %lu rows, operator memory = %lu rows\n\n",
               static_cast<unsigned long>(rows),
               static_cast<unsigned long>(memory_rows));
 
-  // --- Sort-based plan (2 blocking operators). -----------------------------
+  // --- The SQL plan (sort-based: 2 blocking operators). --------------------
   {
-    QueryCounters counters;
-    TempFileManager temp;
-    SortConfig sort_config;
-    sort_config.memory_rows = memory_rows;
-    BufferScan scan1(&schema, &t1), scan2(&schema, &t2);
-    SortOperator sort1(&scan1, &counters, &temp, sort_config);
-    SortOperator sort2(&scan2, &counters, &temp, sort_config);
-    DedupOperator dedup1(&sort1), dedup2(&sort2);
-    MergeJoin intersect(&dedup1, &dedup2, JoinType::kLeftSemi, &counters);
-    const uint64_t result = DrainAndCount(&intersect);
-    std::printf("sort-based plan:   %8lu result rows\n",
-                static_cast<unsigned long>(result));
-    std::printf("  rows spilled:    %8lu (each input row spilled once)\n",
+    sql::SqlSession::Options options;
+    options.planner.sort_config.memory_rows = memory_rows;
+    sql::SqlSession session(&catalog, options);
+    const char kQuery[] =
+        "SELECT a, b FROM t1 INTERSECT SELECT a, b FROM t2";
+
+    auto explain = session.Explain(kQuery);
+    OVC_CHECK(explain.ok());
+    std::printf("physical plan:\n%s\n", explain.value().c_str());
+
+    auto result = session.Run(kQuery);
+    OVC_CHECK(result.ok());
+    const QueryCounters& counters = *session.counters();
+    std::printf("sql sort-based:    %8lu result rows\n",
+                static_cast<unsigned long>(result.value().result.row_count()));
+    std::printf("  rows spilled:    %8lu (each input row spilled at most "
+                "once)\n",
                 static_cast<unsigned long>(counters.rows_spilled));
     std::printf("  column compares: %8lu\n",
                 static_cast<unsigned long>(counters.column_comparisons));
@@ -67,28 +78,7 @@ int main(int argc, char** argv) {
                 static_cast<unsigned long>(counters.code_comparisons));
   }
 
-  // --- Sort-based plan with in-sort aggregation (the paper's version). -----
-  {
-    QueryCounters counters;
-    TempFileManager temp;
-    SortConfig sort_config;
-    sort_config.memory_rows = memory_rows;
-    BufferScan scan1(&schema, &t1), scan2(&schema, &t2);
-    InSortAggregate dedup1(&scan1, 2, {}, &counters, &temp, sort_config);
-    InSortAggregate dedup2(&scan2, 2, {}, &counters, &temp, sort_config);
-    MergeJoin intersect(&dedup1, &dedup2, JoinType::kLeftSemi, &counters);
-    const uint64_t result = DrainAndCount(&intersect);
-    std::printf("in-sort agg plan:  %8lu result rows\n",
-                static_cast<unsigned long>(result));
-    std::printf("  rows spilled:    %8lu (early duplicate collapse)\n",
-                static_cast<unsigned long>(counters.rows_spilled));
-    std::printf("  column compares: %8lu\n",
-                static_cast<unsigned long>(counters.column_comparisons));
-    std::printf("  code compares:   %8lu\n\n",
-                static_cast<unsigned long>(counters.code_comparisons));
-  }
-
-  // --- Hash-based plan (3 blocking operators). -----------------------------
+  // --- Hash-based plan (3 blocking operators), built by hand. --------------
   {
     QueryCounters counters;
     TempFileManager temp;

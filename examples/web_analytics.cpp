@@ -1,77 +1,78 @@
-// Web-analytics style count-distinct: the paper's motivating query shape
+// Web-analytics style count-distinct: the paper's motivating query shape,
+// now written as the SQL it always was:
 //
-//   select site, day, count(distinct visitor) from hits group by site, day
+//   SELECT site, day, COUNT(DISTINCT visitor) AS visitors
+//   FROM hits GROUP BY site, day
 //
-// expressed as a logical plan -- distinct over (site, day, visitor), then
-// group by (site, day) -- and left to the order-property-aware planner.
-// The interesting-order pass notices that the aggregation wants its input
-// sorted on the grouping prefix, so the distinct below runs *in-sort*
-// (duplicates collapse during run generation and merging, "by offsets
-// equal to the column count") and the aggregation streams over the coded
-// result, detecting group boundaries "by offsets smaller than the grouping
-// key" -- with not a single standalone sort in the plan.
+// The SQL front end lowers this onto the planner as distinct over
+// (site, day, visitor) followed by a grouped count, and the
+// order-property-aware planner does the rest: the interesting-order pass
+// notices the aggregation wants its input sorted on the grouping prefix,
+// so the distinct runs *in-sort* (duplicates collapse during run
+// generation and merging, "by offsets equal to the column count") and the
+// count streams over the coded result, detecting group boundaries "by
+// offsets smaller than the grouping key" -- with not a single standalone
+// sort in the plan. EXPLAIN shows exactly that.
 //
 //   ./build/examples/web_analytics
 
 #include <cstdio>
 
-#include "common/counters.h"
 #include "common/rng.h"
-#include "common/temp_file.h"
-#include "plan/logical_plan.h"
-#include "plan/plan_executor.h"
 #include "row/row_buffer.h"
+#include "sql/catalog.h"
+#include "sql/session.h"
 
 using namespace ovc;
 
 int main() {
   // hits(site, day, visitor): heavy repetition -- popular sites get many
-  // hits from the same visitors on the same days.
+  // hits from the same visitors on the same days. Built by hand (the
+  // per-column distributions differ) and registered with the catalog;
+  // RegisterGenerated would be the one-liner for uniform columns.
   Schema schema(/*key_arity=*/3, /*payload_columns=*/0);
   RowBuffer hits(schema.total_columns());
   Rng rng(7);
   const uint64_t kHits = 2000000;
   for (uint64_t i = 0; i < kHits; ++i) {
     uint64_t* row = hits.AppendRow();
-    row[0] = rng.Uniform(50);         // site
-    row[1] = rng.Uniform(30);         // day
-    row[2] = rng.Uniform(2000);       // visitor
+    row[0] = rng.Uniform(50);    // site
+    row[1] = rng.Uniform(30);    // day
+    row[2] = rng.Uniform(2000);  // visitor
   }
 
-  QueryCounters counters;
-  TempFileManager temp;
+  sql::Catalog catalog;
+  OVC_CHECK_OK(catalog.Register(
+      plan::BufferSource("hits", &schema, &hits), {"site", "day", "visitor"}));
 
-  auto logical = plan::PlanBuilder::Scan(
-                     plan::BufferSource("hits", &schema, &hits))
-                     .Distinct()                       // offsets == arity
-                     .Aggregate(/*group_prefix=*/2,    // offsets < group key
-                                {{AggFn::kCount, 0}})
-                     .Build();
-
-  plan::PlanExecutor::Options options;
+  sql::SqlSession::Options options;
   options.planner.sort_config.memory_rows = 1 << 17;
-  plan::PlanExecutor executor(&counters, &temp, options);
+  sql::SqlSession session(&catalog, options);
 
-  plan::ExecutionResult result = executor.Run(logical.get());
-  std::printf("physical plan:\n%s\n",
-              executor.last_plan()->ToString().c_str());
+  const char kQuery[] =
+      "SELECT site, day, COUNT(DISTINCT visitor) AS visitors "
+      "FROM hits GROUP BY site, day";
+
+  auto explain = session.Explain(kQuery);
+  OVC_CHECK(explain.ok());
+  std::printf("physical plan:\n%s\n", explain.value().c_str());
+
+  auto result = session.Run(kQuery);
+  OVC_CHECK(result.ok());
+  const RowBuffer& rows = result.value().result.rows;
 
   uint64_t max_distinct = 0;
-  for (size_t i = 0; i < result.rows.size(); ++i) {
-    const uint64_t* row = result.rows.row(i);
-    if (row[2] > max_distinct) max_distinct = row[2];
+  for (size_t i = 0; i < rows.size(); ++i) {
+    if (rows.row(i)[2] > max_distinct) max_distinct = rows.row(i)[2];
   }
 
+  const QueryCounters& counters = *session.counters();
   std::printf("hits scanned:            %lu\n",
               static_cast<unsigned long>(kHits));
   std::printf("(site, day) groups:      %lu\n",
-              static_cast<unsigned long>(result.row_count()));
+              static_cast<unsigned long>(rows.size()));
   std::printf("max distinct visitors:   %lu\n",
               static_cast<unsigned long>(max_distinct));
-  std::printf("standalone sorts:        %lu (distinct folded into the sort)\n",
-              static_cast<unsigned long>(
-                  executor.last_plan()->inserted_sorts() +
-                  executor.last_plan()->explicit_sorts()));
   std::printf("column comparisons:      %lu\n",
               static_cast<unsigned long>(counters.column_comparisons));
   std::printf("code comparisons:        %lu\n",

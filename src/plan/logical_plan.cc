@@ -86,6 +86,8 @@ const char* LogicalOpName(LogicalOp op) {
       return "sort";
     case LogicalOp::kTopK:
       return "topk";
+    case LogicalOp::kLimit:
+      return "limit";
   }
   return "unknown";
 }
@@ -206,6 +208,15 @@ PlanBuilder& PlanBuilder::TopK(uint64_t k) {
   return *this;
 }
 
+PlanBuilder& PlanBuilder::Limit(uint64_t n) {
+  OVC_CHECK(root_ != nullptr);
+  auto node = std::make_unique<LogicalNode>(LogicalOp::kLimit, root_->schema);
+  node->limit = n;
+  node->children.push_back(std::move(root_));
+  root_ = std::move(node);
+  return *this;
+}
+
 std::unique_ptr<LogicalNode> PlanBuilder::Build() {
   OVC_CHECK(root_ != nullptr);
   return std::move(root_);
@@ -220,8 +231,10 @@ void InferRequirementsRecursive(LogicalNode* node,
     case LogicalOp::kScan:
       break;
     case LogicalOp::kFilter:
+    case LogicalOp::kLimit:
       // Order-transparent: whatever the parent wants of this node, the
-      // node wants of its child (the filter preserves order and codes).
+      // node wants of its child (filter and limit preserve order and
+      // codes).
       InferRequirementsRecursive(node->children[0].get(), from_parent);
       break;
     case LogicalOp::kProject: {
@@ -290,6 +303,7 @@ void AppendNode(const LogicalNode& node, int depth, std::string* out) {
               ", aggs=" + std::to_string(node.aggregates.size()) + ")";
       break;
     case LogicalOp::kTopK:
+    case LogicalOp::kLimit:
       *out += "(k=" + std::to_string(node.limit) + ")";
       break;
     default:

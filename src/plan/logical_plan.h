@@ -76,6 +76,7 @@ enum class LogicalOp : uint8_t {
   kSetOp,
   kSort,
   kTopK,
+  kLimit,
 };
 
 /// Short lowercase name, e.g. "aggregate".
@@ -102,7 +103,7 @@ struct LogicalNode {
   std::vector<AggregateSpec> aggregates; // kAggregate
   SetOpType set_op = SetOpType::kUnion;  // kSetOp
   bool set_all = false;                  // kSetOp
-  uint64_t limit = 0;                    // kTopK
+  uint64_t limit = 0;                    // kTopK, kLimit
 
   // --- analysis annotations (filled by the planner passes) ---
   /// Interesting order: what this node's parent could exploit.
@@ -162,6 +163,11 @@ class PlanBuilder {
 
   /// First `k` rows in full-key sort order.
   PlanBuilder& TopK(uint64_t k);
+
+  /// First `n` rows of the stream *in its current order* -- no sort is
+  /// requested or inserted. Order and codes pass through untouched (a
+  /// truncated tail cannot invalidate codes already emitted).
+  PlanBuilder& Limit(uint64_t n);
 
   /// Releases the finished logical tree. The builder is empty afterwards.
   std::unique_ptr<LogicalNode> Build();

@@ -324,6 +324,9 @@ OrderProperty NodeOutputProperty(const LogicalNode& node,
       return DecideSort(node, child_props[0], options).out;
     case LogicalOp::kTopK:
       return DecideTopK(node, child_props[0], options).out;
+    case LogicalOp::kLimit:
+      // Truncation preserves whatever the child delivers.
+      return child_props[0];
   }
   return OrderProperty::Unsorted();
 }
@@ -857,6 +860,20 @@ Planner::Built Planner::BuildNode(LogicalNode* node, PhysicalPlan* plan,
       result.op =
           plan->Own(std::make_unique<LimitOperator>(input, node->limit));
       result.prop = d.out;
+      plan->algorithms_.push_back(PhysicalAlg::kLimit);
+      explain = ExplainLine(PhysicalAlg::kLimit, result.prop,
+                            "k=" + std::to_string(node->limit)) +
+                IndentBlock(child.explain);
+      break;
+    }
+
+    case LogicalOp::kLimit: {
+      // A bare limit (no order requested): truncate the child's stream in
+      // whatever order it arrives, passing order and codes through.
+      Built child = BuildNode(node->children[0].get(), plan, depth + 1, ctrs);
+      result.op =
+          plan->Own(std::make_unique<LimitOperator>(child.op, node->limit));
+      result.prop = child.prop;
       plan->algorithms_.push_back(PhysicalAlg::kLimit);
       explain = ExplainLine(PhysicalAlg::kLimit, result.prop,
                             "k=" + std::to_string(node->limit)) +

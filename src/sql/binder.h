@@ -1,0 +1,53 @@
+// Binder: AST -> logical plan, lowered onto the fluent PlanBuilder.
+//
+// The engine's row model is positional -- `key_arity` leading sort-key
+// columns followed by payload columns -- so the binder's main job beyond
+// name resolution is *column arrangement*: it inserts projections so that
+// join keys, grouping columns, and ORDER BY keys become the key prefix the
+// order-property-aware planner reasons about, and it skips those
+// projections whenever the columns already line up (which is what lets a
+// query over pre-sorted coded storage keep its order property end to end
+// and have its ORDER BY elided).
+//
+// Everything *physical* stays the planner's job: the binder never chooses
+// between merge and hash joins, in-stream and in-sort aggregation, or
+// serial and exchange-parallel shapes -- it only emits the logical tree
+// with the right column layouts.
+
+#ifndef OVC_SQL_BINDER_H_
+#define OVC_SQL_BINDER_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "plan/logical_plan.h"
+#include "sql/ast.h"
+#include "sql/catalog.h"
+#include "sql/sql_error.h"
+
+namespace ovc::sql {
+
+/// A bound query: the logical plan plus output column names (one per
+/// output schema column, in select-list order).
+struct BoundQuery {
+  std::unique_ptr<plan::LogicalNode> plan;
+  std::vector<std::string> columns;
+};
+
+/// Binds statements against a catalog. Stateless between calls; the
+/// catalog (and the storage behind its tables) must outlive every bound
+/// plan.
+class Binder {
+ public:
+  explicit Binder(const Catalog* catalog) : catalog_(catalog) {}
+
+  SqlResult<BoundQuery> Bind(const SelectStmt& stmt) const;
+
+ private:
+  const Catalog* catalog_;
+};
+
+}  // namespace ovc::sql
+
+#endif  // OVC_SQL_BINDER_H_

@@ -1,0 +1,127 @@
+#include "sql/catalog.h"
+
+#include <cctype>
+#include <utility>
+
+#include "core/ovc.h"
+#include "row/comparator.h"
+
+namespace ovc::sql {
+
+namespace {
+
+std::string Lower(std::string s) {
+  for (char& c : s) {
+    c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+  }
+  return s;
+}
+
+}  // namespace
+
+Status Catalog::Register(plan::TableSource source,
+                         std::vector<std::string> columns) {
+  if (source.schema == nullptr || source.factory == nullptr) {
+    return Status::InvalidArgument("table source lacks schema or factory");
+  }
+  source.name = Lower(source.name);
+  if (source.name.empty()) {
+    return Status::InvalidArgument("table name must not be empty");
+  }
+  if (Find(source.name) != nullptr) {
+    return Status::InvalidArgument("table '" + source.name +
+                                   "' already registered");
+  }
+  if (columns.size() != source.schema->total_columns()) {
+    return Status::InvalidArgument(
+        "table '" + source.name + "' has " +
+        std::to_string(source.schema->total_columns()) + " columns but " +
+        std::to_string(columns.size()) + " column names");
+  }
+  for (std::string& col : columns) col = Lower(col);
+  for (size_t i = 0; i < columns.size(); ++i) {
+    if (columns[i].empty()) {
+      return Status::InvalidArgument("empty column name");
+    }
+    for (size_t j = i + 1; j < columns.size(); ++j) {
+      if (columns[i] == columns[j]) {
+        return Status::InvalidArgument("duplicate column name '" +
+                                       columns[i] + "'");
+      }
+    }
+  }
+  auto table = std::make_unique<CatalogTable>();
+  table->source = std::move(source);
+  table->columns = std::move(columns);
+  tables_.push_back(std::move(table));
+  return Status::Ok();
+}
+
+Status Catalog::RegisterGenerated(const std::string& name,
+                                  std::vector<std::string> columns,
+                                  Schema schema, uint64_t n_rows,
+                                  GeneratedSpec spec) {
+  auto owned_schema = std::make_unique<Schema>(std::move(schema));
+  const Schema* schema_ptr = owned_schema.get();
+
+  GeneratorConfig config;
+  config.rows = n_rows;
+  config.distinct_per_column = spec.distinct_per_column;
+  config.value_base = spec.value_base;
+  config.seed = spec.seed;
+  config.sorted = spec.sorted;
+
+  auto buffer = std::make_unique<RowBuffer>(schema_ptr->total_columns());
+  GenerateRows(*schema_ptr, config, buffer.get());
+
+  plan::TableSource source;
+  if (spec.sorted) {
+    // Materialize as an in-memory run: derive each row's code the naive
+    // reference way once at registration, so every scan afterwards delivers
+    // order and codes at zero comparison cost (Section 4.11).
+    auto run = std::make_unique<InMemoryRun>(schema_ptr->total_columns());
+    run->Reserve(buffer->size());
+    OvcCodec codec(schema_ptr);
+    KeyComparator cmp(schema_ptr, nullptr);
+    for (size_t i = 0; i < buffer->size(); ++i) {
+      const Ovc code =
+          i == 0 ? codec.MakeInitial(buffer->row(i))
+                 : codec.MakeFromRow(
+                       buffer->row(i),
+                       cmp.FirstDifference(buffer->row(i - 1), buffer->row(i),
+                                           0));
+      run->Append(buffer->row(i), code);
+    }
+    source = plan::RunSource(name, schema_ptr, run.get());
+    owned_runs_.push_back(std::move(run));
+  } else {
+    source = plan::BufferSource(name, schema_ptr, buffer.get());
+  }
+
+  Status status = Register(std::move(source), std::move(columns));
+  if (!status.ok()) {
+    if (spec.sorted) owned_runs_.pop_back();
+    return status;
+  }
+  owned_schemas_.push_back(std::move(owned_schema));
+  // The sorted path copied the rows into the run; the staging buffer can go.
+  if (!spec.sorted) owned_buffers_.push_back(std::move(buffer));
+  return Status::Ok();
+}
+
+const CatalogTable* Catalog::Find(const std::string& name) const {
+  const std::string lower = Lower(name);
+  for (const auto& table : tables_) {
+    if (table->source.name == lower) return table.get();
+  }
+  return nullptr;
+}
+
+std::vector<std::string> Catalog::TableNames() const {
+  std::vector<std::string> names;
+  names.reserve(tables_.size());
+  for (const auto& table : tables_) names.push_back(table->source.name);
+  return names;
+}
+
+}  // namespace ovc::sql

@@ -1,0 +1,97 @@
+// Catalog: named tables the SQL binder can resolve.
+//
+// A catalog table is a plan::TableSource (scan factory + schema + seed
+// order property) together with its column names. Registering a scan over
+// sorted storage (an in-memory run, the B-tree, the RLE column store, the
+// LSM forest) seeds the binder's plans with {sorted_prefix, has_ovc} --
+// the planner then elides sorts over those tables exactly as it does for
+// hand-built plans.
+//
+// RegisterGenerated wraps the synthetic workload generator so tests,
+// benchmarks, and the REPL can conjure tables without hand-filling
+// RowBuffers; the catalog owns the generated storage. Externally-backed
+// tables (Register) only borrow their storage, which must outlive the
+// catalog's users.
+
+#ifndef OVC_SQL_CATALOG_H_
+#define OVC_SQL_CATALOG_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "plan/logical_plan.h"
+#include "row/generator.h"
+#include "row/row_buffer.h"
+#include "row/schema.h"
+#include "sort/run.h"
+
+namespace ovc::sql {
+
+/// A registered table: scan source plus column names (lowercase;
+/// columns[i] names schema column i).
+struct CatalogTable {
+  plan::TableSource source;
+  std::vector<std::string> columns;
+
+  const Schema& schema() const { return *source.schema; }
+};
+
+class Catalog {
+ public:
+  Catalog() = default;
+  Catalog(const Catalog&) = delete;
+  Catalog& operator=(const Catalog&) = delete;
+
+  /// Registers `source` under its own name with `columns` naming its
+  /// schema's columns in order. Names are folded to lowercase (SQL
+  /// identifiers are case-insensitive). Fails on duplicate table names,
+  /// column-count mismatches, and duplicate column names. The storage
+  /// behind `source` must outlive every query against it.
+  Status Register(plan::TableSource source,
+                  std::vector<std::string> columns);
+
+  /// Knobs for RegisterGenerated, mirroring GeneratorConfig.
+  struct GeneratedSpec {
+    /// Distinct values per key column, from [value_base, value_base + n).
+    uint64_t distinct_per_column;
+    uint64_t value_base;
+    uint64_t seed;
+    /// True materializes the table *sorted with offset-value codes* (an
+    /// in-memory run): scans then deliver order and codes for free, and
+    /// downstream sorts are elided. False registers an unsorted buffer.
+    bool sorted;
+
+    GeneratedSpec()
+        : distinct_per_column(16), value_base(0), seed(42), sorted(false) {}
+  };
+
+  /// Generates `n_rows` synthetic rows for `schema` (the paper's data
+  /// shape) and registers them under `name`. The catalog owns schema and
+  /// storage.
+  Status RegisterGenerated(const std::string& name,
+                           std::vector<std::string> columns, Schema schema,
+                           uint64_t n_rows,
+                           GeneratedSpec spec = GeneratedSpec());
+
+  /// Looks up a table by (case-insensitive) name; nullptr when absent.
+  const CatalogTable* Find(const std::string& name) const;
+
+  /// Registered table names, in registration order.
+  std::vector<std::string> TableNames() const;
+
+ private:
+  std::vector<std::unique_ptr<CatalogTable>> tables_;
+  // Owned storage backing generated tables. The unique_ptr indirection is
+  // what keeps the pointees' addresses stable as more tables register
+  // (TableSource factories and schemas point at them; vector reallocation
+  // only moves the unique_ptrs).
+  std::vector<std::unique_ptr<Schema>> owned_schemas_;
+  std::vector<std::unique_ptr<RowBuffer>> owned_buffers_;
+  std::vector<std::unique_ptr<InMemoryRun>> owned_runs_;
+};
+
+}  // namespace ovc::sql
+
+#endif  // OVC_SQL_CATALOG_H_

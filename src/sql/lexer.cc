@@ -1,0 +1,210 @@
+#include "sql/lexer.h"
+
+#include <array>
+#include <cctype>
+
+namespace ovc::sql {
+
+namespace {
+
+const std::array<const char*, 21> kKeywords = {
+    "SELECT", "DISTINCT", "FROM",  "INNER", "JOIN",  "ON",    "WHERE",
+    "AND",    "GROUP",    "BY",    "ORDER", "LIMIT", "AS",    "ASC",
+    "DESC",   "COUNT",    "SUM",   "MIN",   "MAX",   "EXPLAIN",
+    "UNION",
+};
+
+// UNION's companions; listed separately only to keep the array lines tidy.
+const std::array<const char*, 3> kMoreKeywords = {"INTERSECT", "EXCEPT",
+                                                  "ALL"};
+
+bool IsKeywordWord(const std::string& upper) {
+  for (const char* kw : kKeywords) {
+    if (upper == kw) return true;
+  }
+  for (const char* kw : kMoreKeywords) {
+    if (upper == kw) return true;
+  }
+  return false;
+}
+
+bool IsIdentStart(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) || c == '_';
+}
+
+bool IsIdentChar(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+}
+
+}  // namespace
+
+SqlResult<std::vector<Token>> Tokenize(std::string_view sql) {
+  std::vector<Token> tokens;
+  uint32_t line = 1;
+  uint32_t column = 1;
+  size_t i = 0;
+
+  auto advance = [&](size_t n) {
+    for (size_t k = 0; k < n; ++k) {
+      if (sql[i + k] == '\n') {
+        ++line;
+        column = 1;
+      } else {
+        ++column;
+      }
+    }
+    i += n;
+  };
+
+  auto make = [&](TokenType type, size_t len) {
+    Token t;
+    t.type = type;
+    t.text = std::string(sql.substr(i, len));
+    t.normalized = t.text;
+    t.line = line;
+    t.column = column;
+    tokens.push_back(t);
+    advance(len);
+  };
+
+  while (i < sql.size()) {
+    const char c = sql[i];
+    if (c == ' ' || c == '\t' || c == '\r' || c == '\n') {
+      advance(1);
+      continue;
+    }
+    if (c == '-' && i + 1 < sql.size() && sql[i + 1] == '-') {
+      while (i < sql.size() && sql[i] != '\n') advance(1);
+      continue;
+    }
+    if (IsIdentStart(c)) {
+      size_t len = 1;
+      while (i + len < sql.size() && IsIdentChar(sql[i + len])) ++len;
+      Token t;
+      t.text = std::string(sql.substr(i, len));
+      std::string upper = t.text;
+      std::string lower = t.text;
+      for (char& ch : upper) ch = static_cast<char>(std::toupper(
+          static_cast<unsigned char>(ch)));
+      for (char& ch : lower) ch = static_cast<char>(std::tolower(
+          static_cast<unsigned char>(ch)));
+      if (IsKeywordWord(upper)) {
+        t.type = TokenType::kKeyword;
+        t.normalized = upper;
+      } else {
+        t.type = TokenType::kIdentifier;
+        t.normalized = lower;
+      }
+      t.line = line;
+      t.column = column;
+      tokens.push_back(std::move(t));
+      advance(len);
+      continue;
+    }
+    if (std::isdigit(static_cast<unsigned char>(c))) {
+      size_t len = 1;
+      while (i + len < sql.size() &&
+             std::isdigit(static_cast<unsigned char>(sql[i + len]))) {
+        ++len;
+      }
+      if (i + len < sql.size() && IsIdentStart(sql[i + len])) {
+        SqlError err;
+        err.message = "malformed number";
+        err.line = line;
+        err.column = column;
+        err.token = std::string(sql.substr(i, len + 1));
+        return err;
+      }
+      uint64_t value = 0;
+      bool overflow = false;
+      for (size_t k = 0; k < len; ++k) {
+        const uint64_t digit = static_cast<uint64_t>(sql[i + k] - '0');
+        if (value > (UINT64_MAX - digit) / 10) {
+          overflow = true;
+          break;
+        }
+        value = value * 10 + digit;
+      }
+      if (overflow) {
+        SqlError err;
+        err.message = "integer literal overflows uint64";
+        err.line = line;
+        err.column = column;
+        err.token = std::string(sql.substr(i, len));
+        return err;
+      }
+      Token t;
+      t.type = TokenType::kInteger;
+      t.text = std::string(sql.substr(i, len));
+      t.normalized = t.text;
+      t.line = line;
+      t.column = column;
+      t.int_value = value;
+      tokens.push_back(std::move(t));
+      advance(len);
+      continue;
+    }
+    switch (c) {
+      case ',':
+        make(TokenType::kComma, 1);
+        continue;
+      case '.':
+        make(TokenType::kDot, 1);
+        continue;
+      case '(':
+        make(TokenType::kLParen, 1);
+        continue;
+      case ')':
+        make(TokenType::kRParen, 1);
+        continue;
+      case '*':
+        make(TokenType::kStar, 1);
+        continue;
+      case ';':
+        make(TokenType::kSemicolon, 1);
+        continue;
+      case '=':
+        make(TokenType::kEq, 1);
+        continue;
+      case '!':
+        if (i + 1 < sql.size() && sql[i + 1] == '=') {
+          make(TokenType::kNe, 2);
+          continue;
+        }
+        break;
+      case '<':
+        if (i + 1 < sql.size() && sql[i + 1] == '=') {
+          make(TokenType::kLe, 2);
+        } else if (i + 1 < sql.size() && sql[i + 1] == '>') {
+          make(TokenType::kNe, 2);
+        } else {
+          make(TokenType::kLt, 1);
+        }
+        continue;
+      case '>':
+        if (i + 1 < sql.size() && sql[i + 1] == '=') {
+          make(TokenType::kGe, 2);
+        } else {
+          make(TokenType::kGt, 1);
+        }
+        continue;
+      default:
+        break;
+    }
+    SqlError err;
+    err.message = "unexpected character";
+    err.line = line;
+    err.column = column;
+    err.token = std::string(1, c);
+    return err;
+  }
+
+  Token end;
+  end.type = TokenType::kEnd;
+  end.line = line;
+  end.column = column;
+  tokens.push_back(std::move(end));
+  return tokens;
+}
+
+}  // namespace ovc::sql

@@ -1,0 +1,63 @@
+// SQL lexer: statement text -> token stream with source positions.
+//
+// Hand-written single-pass scanner. Identifiers are case-insensitive (the
+// lexer records a lowercased `normalized` form next to the raw text);
+// reserved words become kKeyword tokens whose normalized form is the
+// canonical UPPERCASE spelling. `--` starts a comment to end of line.
+
+#ifndef OVC_SQL_LEXER_H_
+#define OVC_SQL_LEXER_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "sql/sql_error.h"
+
+namespace ovc::sql {
+
+enum class TokenType : uint8_t {
+  kEnd,         // end of input
+  kIdentifier,  // unreserved word: table / column / alias name
+  kKeyword,     // reserved word (normalized = canonical uppercase)
+  kInteger,     // unsigned 64-bit decimal literal (value in int_value)
+  kComma,
+  kDot,
+  kLParen,
+  kRParen,
+  kStar,
+  kSemicolon,
+  kEq,  // =
+  kNe,  // != or <>
+  kLt,
+  kLe,
+  kGt,
+  kGe,
+};
+
+/// One lexed token with its 1-based source position.
+struct Token {
+  TokenType type = TokenType::kEnd;
+  /// Raw source spelling (empty for kEnd).
+  std::string text;
+  /// Lowercased identifiers; canonical UPPERCASE keywords; `text` otherwise.
+  std::string normalized;
+  uint32_t line = 1;
+  uint32_t column = 1;
+  uint64_t int_value = 0;
+
+  /// True for a keyword token whose canonical spelling is `kw` (UPPERCASE).
+  bool IsKeyword(std::string_view kw) const {
+    return type == TokenType::kKeyword && normalized == kw;
+  }
+};
+
+/// Scans `sql` into a token vector ending in a kEnd token. Fails on
+/// characters outside the language and on integer literals that overflow
+/// uint64.
+SqlResult<std::vector<Token>> Tokenize(std::string_view sql);
+
+}  // namespace ovc::sql
+
+#endif  // OVC_SQL_LEXER_H_

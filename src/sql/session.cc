@@ -1,0 +1,54 @@
+#include "sql/session.h"
+
+#include <utility>
+
+#include "sql/parser.h"
+
+namespace ovc::sql {
+
+SqlSession::SqlSession(const Catalog* catalog, Options options)
+    : catalog_(catalog), executor_(&counters_, &temp_, options) {}
+
+SqlResult<std::unique_ptr<PreparedQuery>> SqlSession::Prepare(
+    std::string_view sql) {
+  SqlResult<Statement> stmt = ParseStatement(sql);
+  if (!stmt.ok()) return stmt.error();
+
+  Binder binder(catalog_);
+  SqlResult<BoundQuery> bound = binder.Bind(stmt.value().select);
+  if (!bound.ok()) return bound.error();
+
+  auto prepared = std::make_unique<PreparedQuery>();
+  prepared->is_explain = stmt.value().explain;
+  prepared->bound = std::move(bound).value();
+  prepared->columns = prepared->bound.columns;
+  prepared->physical = std::make_unique<plan::PhysicalPlan>(
+      executor_.Plan(prepared->bound.plan.get()));
+  return prepared;
+}
+
+SqlResult<std::string> SqlSession::Explain(std::string_view sql) {
+  SqlResult<std::unique_ptr<PreparedQuery>> prepared = Prepare(sql);
+  if (!prepared.ok()) return prepared.error();
+  return prepared.value()->explain_text();
+}
+
+SqlResult<QueryResult> SqlSession::Run(std::string_view sql) {
+  SqlResult<std::unique_ptr<PreparedQuery>> prepared = Prepare(sql);
+  if (!prepared.ok()) return prepared.error();
+  return Run(prepared.value().get());
+}
+
+QueryResult SqlSession::Run(PreparedQuery* prepared) {
+  QueryResult out;
+  out.columns = prepared->columns;
+  if (prepared->is_explain) {
+    out.is_explain = true;
+    out.explain_text = prepared->explain_text();
+    return out;
+  }
+  out.result = executor_.Run(prepared->physical.get());
+  return out;
+}
+
+}  // namespace ovc::sql

@@ -1,0 +1,93 @@
+// SqlSession: the SQL front end's front door.
+//
+//   Catalog catalog;                       // register / generate tables
+//   SqlSession session(&catalog);
+//   auto result = session.Run("SELECT a, COUNT(*) AS n FROM t GROUP BY a");
+//
+// Prepare parses, binds, and physically plans a statement; Run executes
+// it through PlanExecutor (inheriting its OvcStreamChecker validation);
+// Explain returns the physical plan rendering -- the text that shows
+// elided sorts, merge-vs-hash choices, and exchange-parallel shapes for a
+// query. All planner behavior is inherited from PlannerOptions: set
+// `parallelism` > 1 and SQL queries run the exchange-parallel shapes with
+// no front-end changes.
+
+#ifndef OVC_SQL_SESSION_H_
+#define OVC_SQL_SESSION_H_
+
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/counters.h"
+#include "common/temp_file.h"
+#include "plan/plan_executor.h"
+#include "sql/ast.h"
+#include "sql/binder.h"
+#include "sql/catalog.h"
+#include "sql/sql_error.h"
+
+namespace ovc::sql {
+
+/// A prepared statement: the bound logical plan plus the physical plan the
+/// planner chose. Re-runnable; must not outlive its session or catalog.
+struct PreparedQuery {
+  /// True when the statement was EXPLAIN: Run returns the plan text
+  /// instead of executing.
+  bool is_explain = false;
+  /// Output column names, in select-list order.
+  std::vector<std::string> columns;
+  /// The bound logical plan (owns predicates the physical plan shares).
+  BoundQuery bound;
+  /// The planner's choice of operators.
+  std::unique_ptr<plan::PhysicalPlan> physical;
+
+  /// Physical plan rendering (the EXPLAIN text).
+  std::string explain_text() const { return physical->ToString(); }
+};
+
+/// A materialized query (or EXPLAIN) result.
+struct QueryResult {
+  std::vector<std::string> columns;
+  plan::ExecutionResult result;
+  bool is_explain = false;
+  /// Set for EXPLAIN statements (result is empty then).
+  std::string explain_text;
+};
+
+class SqlSession {
+ public:
+  using Options = plan::PlanExecutor::Options;
+
+  /// `catalog` (and the storage behind its tables) must outlive the
+  /// session and everything it prepares.
+  explicit SqlSession(const Catalog* catalog, Options options = Options());
+
+  /// Parses, binds, and plans one statement.
+  SqlResult<std::unique_ptr<PreparedQuery>> Prepare(std::string_view sql);
+
+  /// Physical plan text for one statement (EXPLAIN prefix optional).
+  SqlResult<std::string> Explain(std::string_view sql);
+
+  /// Prepares and executes one statement.
+  SqlResult<QueryResult> Run(std::string_view sql);
+
+  /// Executes an already-prepared statement (again).
+  QueryResult Run(PreparedQuery* prepared);
+
+  /// Session-wide comparison/spill counters, accumulated across runs.
+  QueryCounters* counters() { return &counters_; }
+  const Catalog* catalog() const { return catalog_; }
+  const Options& options() const { return executor_.options(); }
+
+ private:
+  const Catalog* catalog_;
+  QueryCounters counters_;
+  TempFileManager temp_;
+  plan::PlanExecutor executor_;
+};
+
+}  // namespace ovc::sql
+
+#endif  // OVC_SQL_SESSION_H_

@@ -1,0 +1,41 @@
+#include "sql/sql_error.h"
+
+namespace ovc::sql {
+
+std::string SqlError::ToString() const {
+  std::string out;
+  if (line > 0) {
+    out += std::to_string(line) + ":" + std::to_string(column) + ": ";
+  }
+  out += "error: " + message;
+  if (!token.empty()) {
+    out += " (near '" + token + "')";
+  }
+  return out;
+}
+
+std::string SqlError::Render(std::string_view sql) const {
+  if (line == 0 || column == 0) return ToString();
+  // Find the 1-based `line`-th line of `sql`.
+  size_t start = 0;
+  for (uint32_t l = 1; l < line; ++l) {
+    const size_t nl = sql.find('\n', start);
+    if (nl == std::string_view::npos) return ToString();
+    start = nl + 1;
+  }
+  size_t end = sql.find('\n', start);
+  if (end == std::string_view::npos) end = sql.size();
+  const std::string_view text = sql.substr(start, end - start);
+  if (column > text.size() + 1) return ToString();
+
+  std::string out = ToString();
+  out += "\n  ";
+  out.append(text);
+  out += "\n  ";
+  out.append(column - 1, ' ');
+  out += '^';
+  if (token.size() > 1) out.append(token.size() - 1, '~');
+  return out;
+}
+
+}  // namespace ovc::sql

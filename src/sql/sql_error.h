@@ -1,0 +1,77 @@
+// First-class SQL front-end errors.
+//
+// Parse and bind failures are data, not exceptions: every fallible SQL
+// entry point returns SqlResult<T>, which holds either the value or a
+// SqlError pinpointing the failure -- 1-based line and column plus the
+// offending token -- so the REPL (and tests) can render a caret under the
+// exact spot in the statement text.
+
+#ifndef OVC_SQL_SQL_ERROR_H_
+#define OVC_SQL_SQL_ERROR_H_
+
+#include <optional>
+#include <string>
+#include <string_view>
+#include <utility>
+
+#include "common/check.h"
+
+namespace ovc::sql {
+
+/// A parse or bind failure with its source position.
+struct SqlError {
+  /// Human-readable description ("expected FROM", "unknown column 'x'").
+  std::string message;
+  /// 1-based line of the offending token (0 when unknown).
+  uint32_t line = 0;
+  /// 1-based column of the offending token (0 when unknown).
+  uint32_t column = 0;
+  /// Source text of the offending token ("" at end of input).
+  std::string token;
+
+  /// One-line form: "2:17: error: expected FROM (near 'FRM')".
+  std::string ToString() const;
+
+  /// Two-line caret rendering over `sql` (the text the error came from):
+  /// the offending source line followed by a '^~~~' marker under the
+  /// token. Falls back to ToString() when the position is unknown or out
+  /// of range.
+  std::string Render(std::string_view sql) const;
+};
+
+/// Holds either a T or a SqlError. The front end's StatusOr: no exceptions
+/// anywhere on the parse/bind/execute path.
+template <typename T>
+class SqlResult {
+ public:
+  SqlResult(T value) : value_(std::move(value)) {}  // NOLINT: implicit
+  SqlResult(SqlError error) : error_(std::move(error)) {}  // NOLINT: implicit
+
+  bool ok() const { return value_.has_value(); }
+
+  const SqlError& error() const {
+    OVC_CHECK(!ok());
+    return error_;
+  }
+
+  const T& value() const& {
+    OVC_CHECK(ok());
+    return *value_;
+  }
+  T& value() & {
+    OVC_CHECK(ok());
+    return *value_;
+  }
+  T&& value() && {
+    OVC_CHECK(ok());
+    return *std::move(value_);
+  }
+
+ private:
+  std::optional<T> value_;
+  SqlError error_;
+};
+
+}  // namespace ovc::sql
+
+#endif  // OVC_SQL_SQL_ERROR_H_

@@ -1,0 +1,275 @@
+// ovcsql: interactive (and scriptable) SQL shell over the OVC engine.
+//
+//   ./build/ovcsql [--parallelism=N] [--prefer-sort] [--memory-rows=N]
+//
+// Reads statements from stdin, terminated by ';'. Lines starting with '.'
+// are meta commands (run `.help`). EXPLAIN prints the physical plan the
+// order-property-aware planner chose -- elided sorts, merge-vs-hash
+// joins, in-stream/in-sort aggregation, and (with --parallelism) the
+// exchange-parallel shapes. A CI smoke test pipes tools/smoke.sql through
+// this binary and greps the plans (see .github/workflows/ci.yml).
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include <unistd.h>
+
+#include "sql/catalog.h"
+#include "sql/parser.h"
+#include "sql/session.h"
+
+using namespace ovc;
+
+namespace {
+
+void PrintHelp() {
+  std::printf(
+      "meta commands:\n"
+      "  .help                      this text\n"
+      "  .tables                    list registered tables\n"
+      "  .gen <name>(<col,...>) rows=N [keys=K] [distinct=D] [seed=S]\n"
+      "       [base=B] [sorted]     generate a synthetic table; 'sorted'\n"
+      "                             registers it pre-sorted with codes\n"
+      "  .counters                  session comparison/spill counters\n"
+      "  .quit                      exit\n"
+      "statements end with ';'. EXPLAIN SELECT ... prints the physical\n"
+      "plan. Supported: SELECT [DISTINCT] cols|aggs FROM t [INNER JOIN u\n"
+      "ON a=b] [WHERE ...] [GROUP BY ...] [UNION|INTERSECT|EXCEPT [ALL]\n"
+      "...] [ORDER BY ... [DESC]] [LIMIT n]\n");
+}
+
+/// .gen orders(orderkey,custkey) rows=1000 keys=1 distinct=100 sorted
+bool RunGen(sql::Catalog* catalog, const std::string& args) {
+  const size_t lparen = args.find('(');
+  const size_t rparen = args.find(')');
+  if (lparen == std::string::npos || rparen == std::string::npos ||
+      rparen < lparen) {
+    std::printf("usage: .gen <name>(<col,...>) rows=N [keys=K] [distinct=D] "
+                "[seed=S] [base=B] [sorted]\n");
+    return false;
+  }
+  std::string name = args.substr(0, lparen);
+  while (!name.empty() && (name.back() == ' ' || name.back() == '\t')) {
+    name.pop_back();
+  }
+  while (!name.empty() && (name.front() == ' ' || name.front() == '\t')) {
+    name.erase(name.begin());
+  }
+  std::vector<std::string> columns;
+  std::stringstream cols(args.substr(lparen + 1, rparen - lparen - 1));
+  std::string col;
+  while (std::getline(cols, col, ',')) {
+    std::string trimmed;
+    for (char c : col) {
+      if (c != ' ' && c != '\t') trimmed += c;
+    }
+    if (!trimmed.empty()) columns.push_back(trimmed);
+  }
+  if (name.empty() || columns.empty()) {
+    std::printf("error: .gen needs a table name and column list\n");
+    return false;
+  }
+
+  uint64_t rows = 0;
+  uint32_t keys = static_cast<uint32_t>(columns.size());
+  sql::Catalog::GeneratedSpec spec;
+  std::stringstream rest(args.substr(rparen + 1));
+  std::string word;
+  while (rest >> word) {
+    if (word == "sorted") {
+      spec.sorted = true;
+      continue;
+    }
+    const size_t eq = word.find('=');
+    if (eq == std::string::npos) {
+      std::printf("error: unknown .gen argument '%s'\n", word.c_str());
+      return false;
+    }
+    const std::string key = word.substr(0, eq);
+    const uint64_t value = std::strtoull(word.c_str() + eq + 1, nullptr, 10);
+    if (key == "rows") {
+      rows = value;
+    } else if (key == "keys") {
+      keys = static_cast<uint32_t>(value);
+    } else if (key == "distinct") {
+      spec.distinct_per_column = value;
+    } else if (key == "seed") {
+      spec.seed = value;
+    } else if (key == "base") {
+      spec.value_base = value;
+    } else {
+      std::printf("error: unknown .gen argument '%s'\n", word.c_str());
+      return false;
+    }
+  }
+  if (rows == 0 || keys == 0 || keys > columns.size()) {
+    std::printf("error: .gen needs rows=N and 1 <= keys <= #columns\n");
+    return false;
+  }
+
+  Schema schema(keys, static_cast<uint32_t>(columns.size()) - keys);
+  Status status = catalog->RegisterGenerated(name, columns, schema, rows, spec);
+  if (!status.ok()) {
+    std::printf("error: %s\n", status.ToString().c_str());
+    return false;
+  }
+  std::printf("table %s: %llu rows, %u key + %u payload columns%s\n",
+              name.c_str(), static_cast<unsigned long long>(rows), keys,
+              static_cast<uint32_t>(columns.size()) - keys,
+              spec.sorted ? ", pre-sorted with codes" : "");
+  return true;
+}
+
+void PrintTables(const sql::Catalog& catalog) {
+  for (const std::string& name : catalog.TableNames()) {
+    const sql::CatalogTable* table = catalog.Find(name);
+    std::string cols;
+    for (size_t i = 0; i < table->columns.size(); ++i) {
+      if (i > 0) cols += ", ";
+      cols += table->columns[i];
+    }
+    std::printf("%s(%s) [%s, %s]\n", name.c_str(), cols.c_str(),
+                table->schema().ToString().c_str(),
+                table->source.order.ToString().c_str());
+  }
+}
+
+void PrintCounters(const QueryCounters& counters) {
+  std::printf("column comparisons: %llu\ncode comparisons:   %llu\n"
+              "hash computations:  %llu\nrows spilled:       %llu\n",
+              static_cast<unsigned long long>(counters.column_comparisons),
+              static_cast<unsigned long long>(counters.code_comparisons),
+              static_cast<unsigned long long>(counters.hash_computations),
+              static_cast<unsigned long long>(counters.rows_spilled));
+}
+
+bool RunStatement(sql::SqlSession* session, const std::string& text) {
+  sql::SqlResult<sql::QueryResult> result = session->Run(text);
+  if (!result.ok()) {
+    std::printf("%s\n", result.error().Render(text).c_str());
+    return false;
+  }
+  const sql::QueryResult& q = result.value();
+  if (q.is_explain) {
+    std::printf("%s", q.explain_text.c_str());
+    return true;
+  }
+  for (size_t i = 0; i < q.columns.size(); ++i) {
+    std::printf(i == 0 ? "%s" : "\t%s", q.columns[i].c_str());
+  }
+  std::printf("\n");
+  const RowBuffer& rows = q.result.rows;
+  for (size_t r = 0; r < rows.size(); ++r) {
+    const uint64_t* row = rows.row(r);
+    for (uint32_t c = 0; c < rows.width(); ++c) {
+      std::printf(c == 0 ? "%llu" : "\t%llu",
+                  static_cast<unsigned long long>(row[c]));
+    }
+    std::printf("\n");
+  }
+  std::printf("(%llu rows)\n",
+              static_cast<unsigned long long>(q.result.row_count()));
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  sql::SqlSession::Options options;
+  for (int i = 1; i < argc; ++i) {
+    const char* arg = argv[i];
+    if (std::strncmp(arg, "--parallelism=", 14) == 0) {
+      options.planner.parallelism =
+          static_cast<uint32_t>(std::strtoul(arg + 14, nullptr, 10));
+    } else if (std::strcmp(arg, "--prefer-sort") == 0) {
+      options.planner.prefer_sort_based = true;
+    } else if (std::strncmp(arg, "--memory-rows=", 14) == 0) {
+      options.planner.sort_config.memory_rows =
+          std::strtoull(arg + 14, nullptr, 10);
+    } else {
+      std::fprintf(stderr,
+                   "usage: ovcsql [--parallelism=N] [--prefer-sort] "
+                   "[--memory-rows=N]\n");
+      return 2;
+    }
+  }
+
+  sql::Catalog catalog;
+  sql::SqlSession session(&catalog, options);
+  const bool interactive = isatty(fileno(stdin)) != 0;
+  if (interactive) {
+    std::printf("ovcsql -- offset-value coding SQL shell (.help for help)\n");
+  }
+
+  // In script mode (stdin not a tty) any failed command makes the exit
+  // code non-zero, so CI pipelines catch broken statements, not just
+  // missing grep patterns.
+  bool failed = false;
+  std::string pending;
+  std::string line;
+  while (true) {
+    if (interactive) {
+      std::printf(pending.empty() ? "ovcsql> " : "   ...> ");
+      std::fflush(stdout);
+    }
+    if (!std::getline(std::cin, line)) break;
+
+    // Strip -- comments here (not just in the lexer) so that semicolons
+    // inside comments don't split statements and comment-only lines don't
+    // start one.
+    const size_t comment = line.find("--");
+    if (comment != std::string::npos) line.erase(comment);
+
+    bool pending_blank = true;
+    for (char c : pending) {
+      if (c != ' ' && c != '\t' && c != '\n' && c != '\r') {
+        pending_blank = false;
+        break;
+      }
+    }
+
+    // Meta commands act on a whole line, outside any pending statement.
+    if (pending_blank && !line.empty() && line[0] == '.') {
+      pending.clear();
+      std::stringstream ss(line);
+      std::string cmd;
+      ss >> cmd;
+      if (cmd == ".quit" || cmd == ".exit") break;
+      if (cmd == ".help") {
+        PrintHelp();
+      } else if (cmd == ".tables") {
+        PrintTables(catalog);
+      } else if (cmd == ".counters") {
+        PrintCounters(*session.counters());
+      } else if (cmd == ".gen") {
+        std::string rest;
+        std::getline(ss, rest);
+        if (!RunGen(&catalog, rest)) failed = true;
+      } else {
+        std::printf("unknown command %s (try .help)\n", cmd.c_str());
+        failed = true;
+      }
+      continue;
+    }
+
+    pending += line;
+    pending += '\n';
+    // Execute every complete (';'-terminated) statement accumulated.
+    size_t semi;
+    while ((semi = pending.find(';')) != std::string::npos) {
+      std::string statement = pending.substr(0, semi);
+      pending.erase(0, semi + 1);
+      bool blank = true;
+      for (char c : statement) {
+        if (c != ' ' && c != '\t' && c != '\n' && c != '\r') blank = false;
+      }
+      if (!blank && !RunStatement(&session, statement)) failed = true;
+    }
+  }
+  return !interactive && failed ? 1 : 0;
+}
