@@ -1,27 +1,32 @@
 #!/usr/bin/env bash
 # Runs the key benchmarks with --benchmark_format=json and aggregates all
-# results into a single JSON file (committed as BENCH_<PR>.json at the repo
-# root for the benchmark trajectory).
+# results into a single JSON file. Each PR commits its aggregate as
+# BENCH_PR<n>.json at the repo root (the benchmark trajectory); the output
+# name is parametrized -- pass -o or set $BENCH_OUT, the default below
+# names the current PR's aggregate.
 #
 # Usage:
 #   bench/run_benches.sh [-B build_dir] [-o out.json] [--smoke]
 #
 #   -B dir    build directory holding the bench binaries (default: build)
-#   -o file   aggregate output path (default: $BENCH_OUT or BENCH_PR3.json)
+#   -o file   aggregate output path (default: $BENCH_OUT, else the
+#             current PR's BENCH_PR<n>.json)
 #   --smoke   CI mode: tiny --benchmark_min_time so the binaries and this
 #             script are exercised end-to-end without burning CI minutes
 #
 # Benchmarks are built on demand if the binaries are missing. The subset
-# includes the exchange merge (OVC vs plain, threaded) and the planner's
-# parallel sort shape at 1/2/4 workers (multi-worker scaling is bounded by
-# the machine's core count).
+# includes the batched pipelines, the pq/sort suites the cost model's
+# constants are calibrated from (see docs/COST_MODEL.md), the exchange
+# merge (OVC vs plain, threaded), the planner's parallel sort shape at
+# 1/2/4 workers (multi-worker scaling is bounded by the machine's core
+# count), and the SQL end-to-end suite.
 
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
 
 BUILD_DIR=build
-OUT=${BENCH_OUT:-BENCH_PR4.json}
+OUT=${BENCH_OUT:-BENCH_PR5.json}
 MIN_TIME=0.5
 BENCHES=(bench_batch_pipeline bench_pq_merge bench_sort_ovc
          bench_exchange_merge bench_parallel_sort bench_sql_e2e)

@@ -17,6 +17,8 @@ TableSource BufferSource(std::string name, const Schema* schema,
   source.name = std::move(name);
   source.schema = schema;
   source.order = OrderProperty::Unsorted();
+  source.stats.row_count = buffer->size();
+  source.stats.row_count_known = true;
   source.factory = [schema, buffer] {
     return std::make_unique<BufferScan>(schema, buffer);
   };
@@ -30,6 +32,8 @@ TableSource RunSource(std::string name, const Schema* schema,
   source.name = std::move(name);
   source.schema = schema;
   source.order = OrderProperty::Sorted(schema->key_arity(), /*ovc=*/true);
+  source.stats.row_count = run->size();
+  source.stats.row_count_known = true;
   source.factory = [schema, run] {
     return std::make_unique<RunScan>(schema, run);
   };
@@ -42,6 +46,8 @@ TableSource BTreeSource(std::string name, const BTree* tree) {
   source.schema = &tree->schema();
   source.order =
       OrderProperty::Sorted(tree->schema().key_arity(), /*ovc=*/true);
+  source.stats.row_count = tree->size();
+  source.stats.row_count_known = true;
   source.factory = [tree] { return tree->Scan(); };
   return source;
 }
@@ -52,6 +58,8 @@ TableSource ColumnStoreSource(std::string name, const RleColumnStore* store) {
   source.schema = &store->schema();
   source.order =
       OrderProperty::Sorted(store->schema().key_arity(), /*ovc=*/true);
+  source.stats.row_count = store->rows();
+  source.stats.row_count_known = true;
   source.factory = [store] { return store->CreateScan(); };
   return source;
 }
@@ -62,6 +70,8 @@ TableSource LsmSource(std::string name, LsmForest* forest) {
   source.schema = &forest->schema();
   source.order =
       OrderProperty::Sorted(forest->schema().key_arity(), /*ovc=*/true);
+  source.stats.row_count = forest->rows();
+  source.stats.row_count_known = true;
   source.factory = [forest] { return forest->ScanAll(); };
   return source;
 }

@@ -26,6 +26,7 @@
 #include "exec/merge_join.h"
 #include "exec/operator.h"
 #include "exec/set_operation.h"
+#include "plan/cost_model.h"
 #include "plan/order_property.h"
 #include "row/row_buffer.h"
 #include "row/schema.h"
@@ -46,6 +47,11 @@ struct TableSource {
   std::string name;
   const Schema* schema = nullptr;
   OrderProperty order;
+  /// Optimizer statistics (row count, distinct key prefixes). The source
+  /// constructors below fill row_count from the storage; the SQL catalog
+  /// additionally fills key_distinct for generated tables. Either may stay
+  /// unknown -- the cost model then falls back to its defaults.
+  TableStats stats;
   /// Creates a fresh scan operator (called once per physical plan).
   std::function<std::unique_ptr<Operator>()> factory;
 };
@@ -113,6 +119,11 @@ struct LogicalNode {
   /// once per Plan() so the parallel-shape pre-decisions are O(1) per node
   /// instead of a subtree recursion each.
   OrderProperty inferred = OrderProperty::Unsorted();
+  /// Estimated output cardinality (rows + distinct key prefixes), filled
+  /// bottom-up by AnnotateCardinalities (plan/cost_model.h) once per
+  /// Plan(). card.rows == 0 marks a node not yet annotated; the cost-based
+  /// decision rules then estimate on the fly.
+  CardEstimate card;
 };
 
 /// Fluent builder for logical plans. Each call wraps the current tree in a

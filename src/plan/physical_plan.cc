@@ -10,6 +10,7 @@
 #include "exec/limit.h"
 #include "exec/project.h"
 #include "exec/sort_operator.h"
+#include "plan/cost_model.h"
 
 namespace ovc::plan {
 
@@ -86,9 +87,25 @@ OrderProperty SortOutput(const Schema& schema, const SortConfig& config) {
                                config.use_ovc || config.naive_output_codes);
 }
 
+/// CostModel matching `options` (constants + memory budgets).
+CostModel ModelFor(const PlannerOptions& options) {
+  return CostModel(options.cost_constants, options.sort_config,
+                   options.hash_memory_rows);
+}
+
+/// Cost of a full sort of `card` rows shaped like `schema`.
+double SortCostFor(const CostModel& model, const CardEstimate& card,
+                   const Schema& schema) {
+  return model.Sort(card.rows, schema.key_arity(),
+                    card.DistinctPrefix(schema.key_arity()),
+                    schema.total_columns());
+}
+
 // ---------------------------------------------------------------------------
 // Pure decision rules, shared by the instantiating planner and the pure
-// inference entry point so the two can never disagree.
+// inference entry point so the two can never disagree. Under
+// CostPolicy::kCostBased the open calls compare cost estimates; under
+// kRuleBased they reproduce the PR 1..4 policy exactly.
 // ---------------------------------------------------------------------------
 
 struct JoinDecision {
@@ -139,11 +156,67 @@ JoinDecision DecideJoin(const LogicalNode& node, const OrderProperty& left,
   d.out = OrderProperty::Sorted(node.schema.key_arity(), /*ovc=*/true);
   if (l_ok && r_ok) {
     // Both inputs arrive sorted with codes: the merge join both exploits
-    // and reproduces them (Section 4.7). Nothing to add.
+    // and reproduces them (Section 4.7) at pure code-comparison cost --
+    // nothing can beat it, under either policy.
     d.alg = PhysicalAlg::kMergeJoin;
     return d;
   }
-  if (!options.prefer_sort_based && HashSupports(type)) {
+  const bool hash_allowed = !options.prefer_sort_based && HashSupports(type);
+  if (options.cost_policy == CostPolicy::kCostBased) {
+    const CostModel model = ModelFor(options);
+    const CardEstimate lc = CardOf(*node.children[0], options.cost_constants);
+    const CardEstimate rc = CardOf(*node.children[1], options.cost_constants);
+    const double out_rows = CardOf(node, options.cost_constants).rows;
+    // The sort-based fallback: sorts exactly where order or codes are
+    // missing, then merge join (spilling gracefully past the sort memory
+    // budget).
+    const double sort_merge = (l_ok ? 0.0 : SortCostFor(model, lc, ls)) +
+                              (r_ok ? 0.0 : SortCostFor(model, rc, rs)) +
+                              model.MergeJoin(lc.rows, rc.rows, out_rows);
+    if (hash_allowed && !l_ok &&
+        (type == JoinType::kInner || type == JoinType::kLeftSemi)) {
+      // No order on the probe side: grace hash join versus sorting both
+      // inputs, decided by estimated cost under the memory budgets --
+      // grace pays a partition write+read round trip for both sides once
+      // the build exceeds hash_memory_rows, which is where the sort-based
+      // plan starts winning (the Figure 6 race). An ordered coded probe
+      // (l_ok below) is never discarded for a hash join.
+      // Combining hash joins pay the layout-restoring projection back to
+      // the canonical merge layout; merge joins never do. Charge it here
+      // so the decision threshold matches the recorded estimates.
+      const double grace = model.GraceHashJoin(lc.rows, rc.rows, out_rows,
+                                               ls.total_columns(),
+                                               rs.total_columns()) +
+                           (combines ? model.Project(out_rows) : 0.0);
+      if (grace < sort_merge) {
+        d.alg = PhysicalAlg::kGraceHashJoin;
+        d.normalize = combines;
+        d.out = OrderProperty::Unsorted();
+        return d;
+      }
+    }
+    if (hash_allowed && l_ok && options.assume_build_fits_memory &&
+        rc.rows <= static_cast<double>(options.hash_memory_rows)) {
+      // Sorted probe over an unsorted build with a residency vouch: the
+      // order-preserving in-memory hash join (Section 4.9) versus sorting
+      // only the build side. The estimate must also respect the budget
+      // the vouch is about -- the operator aborts past it.
+      const double in_memory_hash =
+          model.OrderPreservingHashJoin(lc.rows, rc.rows, out_rows) +
+          (combines ? model.Project(out_rows) : 0.0);
+      if (in_memory_hash < sort_merge) {
+        d.alg = PhysicalAlg::kOrderPreservingHashJoin;
+        d.normalize = combines;
+        return d;
+      }
+    }
+    d.alg = PhysicalAlg::kMergeJoin;
+    d.sort_left = !l_ok;
+    d.sort_right = !r_ok;
+    return d;
+  }
+  // Rule-based policy (pre-PR5 behavior, byte for byte).
+  if (hash_allowed) {
     if (l_ok && options.assume_build_fits_memory) {
       // Probe side ordered and coded: the in-memory hash join preserves
       // both (Section 4.9), at the price of a resident build side. Only
@@ -159,8 +232,9 @@ JoinDecision DecideJoin(const LogicalNode& node, const OrderProperty& left,
       // deliberately NOT honored here -- it is cheaper to let the parent
       // absorb the disorder with an order-producing operator over the join
       // *output* (in-sort aggregation/distinct, Figure 5's early-
-      // aggregation shape) than to sort both join *inputs*; revisiting
-      // this per cardinality is the ROADMAP's cost-model item.
+      // aggregation shape) than to sort both join *inputs*; the
+      // cost-based policy revisits this per cardinality and memory
+      // budget.
       d.alg = PhysicalAlg::kGraceHashJoin;
       d.normalize = combines;
       d.out = OrderProperty::Unsorted();
@@ -191,7 +265,7 @@ UnaryDecision DecideAggregate(const LogicalNode& node,
   if (child.SortedOn(node.group_prefix)) {
     // Sorted input: group boundaries are one integer test per row when
     // codes are present, column comparisons otherwise (Figure 4's two
-    // sides).
+    // sides). Cheapest under either policy.
     d.alg = PhysicalAlg::kInStreamAggregate;
     d.out = OrderProperty::Sorted(node.group_prefix, child.has_ovc);
     return d;
@@ -199,10 +273,36 @@ UnaryDecision DecideAggregate(const LogicalNode& node,
   if (node.required.interested() || options.prefer_sort_based) {
     // The parent can exploit order (or sort-based planning is forced):
     // aggregate inside the sort, collapsing duplicates at every stage
-    // (Figure 5's sort-based plan).
+    // (Figure 5's sort-based plan). This gate survives the cost-based
+    // policy as a robustness guard: producing the order here feeds the
+    // parent codes for free, while a hash aggregate would force the
+    // parent to re-sort output whose duplicate density the model can
+    // only guess.
     d.alg = PhysicalAlg::kInSortAggregate;
     d.out = OrderProperty::Sorted(node.schema.key_arity(), /*ovc=*/true);
     return d;
+  }
+  if (options.cost_policy == CostPolicy::kCostBased) {
+    // Order-indifferent parent: in-sort versus hash aggregation by
+    // estimated cost under the memory budgets. In memory the hash
+    // aggregate wins on constants; once the estimated group count
+    // overflows hash_memory_rows the hash table starts spilling input
+    // rows while duplicate collapse keeps the sort's spill volume bounded
+    // by the group count -- the point where Figure 5's sort-based plan
+    // takes over.
+    const CostModel model = ModelFor(options);
+    const CardEstimate cc = CardOf(*node.children[0], options.cost_constants);
+    const double groups = cc.DistinctPrefix(node.group_prefix);
+    const double in_sort =
+        model.InSortAggregate(cc.rows, groups, node.group_prefix, groups,
+                              node.schema.total_columns());
+    const double hash =
+        model.HashAggregate(cc.rows, groups, node.schema.total_columns());
+    if (in_sort < hash) {
+      d.alg = PhysicalAlg::kInSortAggregate;
+      d.out = OrderProperty::Sorted(node.schema.key_arity(), /*ovc=*/true);
+      return d;
+    }
   }
   d.alg = PhysicalAlg::kHashAggregate;
   d.out = OrderProperty::Unsorted();
@@ -224,6 +324,23 @@ UnaryDecision DecideDistinct(const LogicalNode& node,
   const bool keeps_payloads = schema.payload_columns() > 0;
   if (!keeps_payloads && !options.prefer_sort_based &&
       !node.required.interested()) {
+    if (options.cost_policy == CostPolicy::kCostBased) {
+      // Same open call as the aggregate above, over the full key.
+      const CostModel model = ModelFor(options);
+      const CardEstimate cc =
+          CardOf(*node.children[0], options.cost_constants);
+      const double groups = cc.DistinctPrefix(schema.key_arity());
+      const double in_sort =
+          model.InSortAggregate(cc.rows, groups, schema.key_arity(), groups,
+                                schema.total_columns());
+      const double hash =
+          model.HashAggregate(cc.rows, groups, schema.total_columns());
+      if (in_sort < hash) {
+        d.alg = PhysicalAlg::kInSortDistinct;
+        d.out = OrderProperty::Sorted(schema.key_arity(), /*ovc=*/true);
+        return d;
+      }
+    }
     d.alg = PhysicalAlg::kHashDistinct;
     d.out = OrderProperty::Unsorted();
     return d;
@@ -249,7 +366,8 @@ UnaryDecision DecideSort(const LogicalNode& node, const OrderProperty& child,
   UnaryDecision d;
   if (SortedWithCodesOn(child, node.schema)) {
     // The planner's key property payoff: input already sorted and coded
-    // means the sort disappears entirely.
+    // means the sort disappears entirely -- zero cost beats any resort
+    // under any policy.
     d.alg = PhysicalAlg::kElidedSort;
     d.out = child;
     return d;
@@ -346,10 +464,10 @@ std::string IndentBlock(const std::string& block) {
 }
 
 std::string ExplainLine(PhysicalAlg alg, const OrderProperty& prop,
-                        const std::string& detail) {
+                        const std::string& detail, const NodeEstimate& est) {
   std::string line = PhysicalAlgName(alg);
   if (!detail.empty()) line += "(" + detail + ")";
-  line += " [" + prop.ToString() + "]\n";
+  line += " [" + prop.ToString() + "] " + RenderEstimate(est) + "\n";
   return line;
 }
 
@@ -383,15 +501,23 @@ OrderProperty AnnotateInferred(LogicalNode* node,
 
 Planner::Planner(QueryCounters* counters, TempFileManager* temp,
                  PlannerOptions options)
-    : counters_(counters), temp_(temp), options_(std::move(options)) {}
+    : counters_(counters),
+      temp_(temp),
+      options_(std::move(options)),
+      cost_model_(options_.cost_constants, options_.sort_config,
+                  options_.hash_memory_rows) {}
 
 PhysicalPlan Planner::Plan(LogicalNode* root) {
   InferOrderRequirements(root);
+  // Cardinalities first: the decision rules behind the inferred-property
+  // pass consult them under the cost-based policy.
+  AnnotateCardinalities(root, options_.cost_constants);
   AnnotateInferred(root, options_);
   PhysicalPlan plan;
   Built built = BuildNode(root, &plan, 0, counters_);
   plan.root_ = built.op;
   plan.root_order_ = built.prop;
+  plan.root_estimate_ = built.est;
   // The operator contract (exec/operator.h) must agree with what the
   // decision rules predicted; a mismatch is a planner bug.
   OVC_DCHECK(built.op->sorted() == built.prop.sorted());
@@ -399,8 +525,10 @@ PhysicalPlan Planner::Plan(LogicalNode* root) {
   return plan;
 }
 
-Planner::Built Planner::InsertSort(Built child, PhysicalPlan* plan,
-                                   int depth, QueryCounters* ctrs) {
+Planner::Built Planner::InsertSort(Built child,
+                                   const LogicalNode* logical_child,
+                                   PhysicalPlan* plan, int depth,
+                                   QueryCounters* ctrs) {
   (void)depth;
   // Planner-inserted sorts always feed code-consuming operators (merge
   // join, dedup, set operation), so the configured sort must deliver
@@ -410,24 +538,32 @@ Planner::Built Planner::InsertSort(Built child, PhysicalPlan* plan,
             options_.sort_config.naive_output_codes);
   auto sort = std::make_unique<SortOperator>(child.op, ctrs, temp_,
                                              options_.sort_config);
+  const Schema& schema = child.op->schema();
+  const CardEstimate cc = CardOf(*logical_child, options_.cost_constants);
   Built built;
-  built.prop = SortOutput(child.op->schema(), options_.sort_config);
+  built.prop = SortOutput(schema, options_.sort_config);
+  built.est.rows = child.est.rows;
+  built.est.cost = child.est.cost + SortCostFor(cost_model_, cc, schema);
   built.op = plan->Own(std::move(sort));
-  built.explain = std::move(child.explain);
+  built.explain = ExplainLine(PhysicalAlg::kSort, built.prop, "inserted",
+                              built.est) +
+                  IndentBlock(child.explain);
   ++plan->inserted_sorts_;
-  plan->algorithms_.push_back(PhysicalAlg::kSort);
+  plan->RecordAlg(PhysicalAlg::kSort, built.est);
   return built;
 }
 
 Operator* Planner::BuildExchangeRegion(
     const std::vector<Operator*>& children,
     const std::vector<QueryCounters*>& child_counters,
-    SplitExchange::Policy policy, uint32_t hash_prefix,
-    QueryCounters* merge_counters, PhysicalPlan* plan,
+    const std::vector<NodeEstimate>& child_ests,
+    const NodeEstimate& region_est, SplitExchange::Policy policy,
+    uint32_t hash_prefix, QueryCounters* merge_counters, PhysicalPlan* plan,
     const std::function<std::unique_ptr<Operator>(
         const std::vector<Operator*>& parts, QueryCounters* wc)>&
         make_worker) {
   OVC_CHECK(children.size() == child_counters.size());
+  OVC_CHECK(children.size() == child_ests.size());
   const uint32_t workers = options_.parallelism;
   // A split pumps the shared child from whichever worker thread pulls
   // first, all under its pump mutex -- so it shares the region counters
@@ -435,7 +571,7 @@ Operator* Planner::BuildExchangeRegion(
   // after the run, never the consumer-side counters).
   std::vector<SplitExchange*> splits;
   for (size_t c = 0; c < children.size(); ++c) {
-    plan->algorithms_.push_back(PhysicalAlg::kSplitExchange);
+    plan->RecordAlg(PhysicalAlg::kSplitExchange, child_ests[c]);
     splits.push_back(plan->OwnSplit(std::make_unique<SplitExchange>(
         children[c], workers, policy, child_counters[c],
         std::vector<uint64_t>{}, hash_prefix)));
@@ -448,7 +584,7 @@ Operator* Planner::BuildExchangeRegion(
     worker_ops.push_back(
         plan->Own(make_worker(parts, plan->NewWorkerCounters())));
   }
-  plan->algorithms_.push_back(PhysicalAlg::kMergeExchange);
+  plan->RecordAlg(PhysicalAlg::kMergeExchange, region_est);
   if (workers > plan->parallel_workers_) plan->parallel_workers_ = workers;
   return plan->Own(std::make_unique<MergeExchange>(worker_ops, merge_counters,
                                                    options_.exchange));
@@ -475,18 +611,20 @@ const char* SplitPolicyName(SplitExchange::Policy policy) {
 /// child sorted and coded within every partition).
 std::string ExplainParallelRegion(uint32_t workers,
                                   const OrderProperty& out_prop,
+                                  const NodeEstimate& region_est,
                                   const std::string& worker_line,
                                   SplitExchange::Policy policy,
                                   const OrderProperty& part_prop,
-                                  const std::vector<std::string>& inputs) {
+                                  const std::vector<std::string>& inputs,
+                                  const std::vector<NodeEstimate>& in_ests) {
   std::string split_block;
-  for (const std::string& in : inputs) {
+  for (size_t i = 0; i < inputs.size(); ++i) {
     split_block += ExplainLine(PhysicalAlg::kSplitExchange, part_prop,
-                               SplitPolicyName(policy)) +
-                   IndentBlock(in);
+                               SplitPolicyName(policy), in_ests[i]) +
+                   IndentBlock(inputs[i]);
   }
   return ExplainLine(PhysicalAlg::kMergeExchange, out_prop,
-                     std::to_string(workers) + " workers") +
+                     std::to_string(workers) + " workers", region_est) +
          IndentBlock(worker_line + IndentBlock(split_block));
 }
 
@@ -496,14 +634,17 @@ Planner::Built Planner::BuildNode(LogicalNode* node, PhysicalPlan* plan,
                                   int depth, QueryCounters* ctrs) {
   Built result;
   std::string explain;
+  const CostModel& model = cost_model_;
+  const double out_rows = node->card.rows;
 
   switch (node->op) {
     case LogicalOp::kScan: {
       result.op = plan->Own(node->source.factory());
       result.prop = node->source.order;
-      plan->algorithms_.push_back(PhysicalAlg::kScan);
+      result.est = {out_rows, model.Scan(out_rows)};
+      plan->RecordAlg(PhysicalAlg::kScan, result.est);
       explain = ExplainLine(PhysicalAlg::kScan, result.prop,
-                            node->source.name);
+                            node->source.name, result.est);
       break;
     }
 
@@ -512,8 +653,11 @@ Planner::Built Planner::BuildNode(LogicalNode* node, PhysicalPlan* plan,
       result.op = plan->Own(std::make_unique<FilterOperator>(
           child.op, node->predicate, node->block_predicate));
       result.prop = FilterOutput(child.prop);
-      plan->algorithms_.push_back(PhysicalAlg::kFilter);
-      explain = ExplainLine(PhysicalAlg::kFilter, result.prop, "") +
+      result.est = {out_rows, child.est.cost +
+                                  model.Filter(child.est.rows, out_rows)};
+      plan->RecordAlg(PhysicalAlg::kFilter, result.est);
+      explain = ExplainLine(PhysicalAlg::kFilter, result.prop, "",
+                            result.est) +
                 IndentBlock(child.explain);
       break;
     }
@@ -523,8 +667,10 @@ Planner::Built Planner::BuildNode(LogicalNode* node, PhysicalPlan* plan,
       result.op = plan->Own(std::make_unique<ProjectOperator>(
           child.op, node->schema, node->mapping));
       result.prop = ProjectOutput(*node, child.prop);
-      plan->algorithms_.push_back(PhysicalAlg::kProject);
-      explain = ExplainLine(PhysicalAlg::kProject, result.prop, "") +
+      result.est = {out_rows, child.est.cost + model.Project(out_rows)};
+      plan->RecordAlg(PhysicalAlg::kProject, result.est);
+      explain = ExplainLine(PhysicalAlg::kProject, result.prop, "",
+                            result.est) +
                 IndentBlock(child.explain);
       break;
     }
@@ -551,20 +697,57 @@ Planner::Built Planner::BuildNode(LogicalNode* node, PhysicalPlan* plan,
                               right_ctrs);
       JoinDecision d = DecideJoin(*node, left.prop, right.prop, options_);
       if (d.sort_left) {
-        left.explain = ExplainLine(PhysicalAlg::kSort, SortOutput(
-            node->children[0]->schema, options_.sort_config), "inserted") +
-            IndentBlock(left.explain);
-        left = InsertSort(left, plan, depth + 1, left_ctrs);
+        left = InsertSort(std::move(left), node->children[0].get(), plan,
+                          depth + 1, left_ctrs);
       }
       if (d.sort_right) {
-        right.explain = ExplainLine(PhysicalAlg::kSort, SortOutput(
-            node->children[1]->schema, options_.sort_config), "inserted") +
-            IndentBlock(right.explain);
-        right = InsertSort(right, plan, depth + 1, right_ctrs);
+        right = InsertSort(std::move(right), node->children[1].get(), plan,
+                           depth + 1, right_ctrs);
       }
+      double alg_cost = 0;
+      switch (d.alg) {
+        case PhysicalAlg::kMergeJoin:
+          alg_cost = model.MergeJoin(left.est.rows, right.est.rows, out_rows);
+          break;
+        case PhysicalAlg::kOrderPreservingHashJoin:
+          alg_cost = model.OrderPreservingHashJoin(left.est.rows,
+                                                   right.est.rows, out_rows);
+          break;
+        case PhysicalAlg::kGraceHashJoin:
+          alg_cost = model.GraceHashJoin(
+              left.est.rows, right.est.rows, out_rows,
+              node->children[0]->schema.total_columns(),
+              node->children[1]->schema.total_columns());
+          break;
+        default:
+          OVC_CHECK(false);
+      }
+      // The normalize projection below (hash joins of combining types) is
+      // part of this node's physical form: fold its cost in before the
+      // estimate is recorded anywhere.
+      const double normalize_cost =
+          d.normalize ? model.Project(out_rows) : 0.0;
+      result.est = {out_rows, left.est.cost + right.est.cost + alg_cost +
+                                  normalize_cost};
       Operator* join = nullptr;
       const bool parallel_join =
           pre_parallel_join && d.alg == PhysicalAlg::kMergeJoin;
+      NodeEstimate left_split = left.est;
+      NodeEstimate right_split = right.est;
+      // Cumulative estimate of one worker's merge join (the plan node
+      // inserted between the splits and the merging exchange).
+      NodeEstimate join_worker_est = result.est;
+      if (parallel_join) {
+        left_split.cost +=
+            model.SplitExchange(left.est.rows, /*hash_policy=*/true);
+        right_split.cost +=
+            model.SplitExchange(right.est.rows, /*hash_policy=*/true);
+        join_worker_est.cost =
+            left_split.cost + right_split.cost + alg_cost;
+        result.est.cost = join_worker_est.cost +
+                          model.MergeExchange(out_rows,
+                                              options_.parallelism);
+      }
       switch (d.alg) {
         case PhysicalAlg::kMergeJoin:
           if (parallel_join) {
@@ -576,6 +759,7 @@ Planner::Built Planner::BuildNode(LogicalNode* node, PhysicalPlan* plan,
             const JoinType type = node->join_type;
             join = BuildExchangeRegion(
                 {left.op, right.op}, {left_ctrs, right_ctrs},
+                {left_split, right_split}, result.est,
                 SplitExchange::Policy::kHashKey,
                 node->children[0]->schema.key_arity(), ctrs, plan,
                 [type](const std::vector<Operator*>& parts,
@@ -584,17 +768,20 @@ Planner::Built Planner::BuildNode(LogicalNode* node, PhysicalPlan* plan,
                                                      type, wc);
                 });
           } else {
+            plan->RecordAlg(d.alg, result.est);
             join = plan->Own(std::make_unique<MergeJoin>(
                 left.op, right.op, node->join_type, ctrs));
           }
           break;
         case PhysicalAlg::kOrderPreservingHashJoin:
+          plan->RecordAlg(d.alg, result.est);
           join = plan->Own(std::make_unique<OrderPreservingHashJoin>(
               left.op, right.op, node->children[0]->schema.key_arity(),
               ToHashType(node->join_type), options_.hash_memory_rows,
               ctrs));
           break;
         case PhysicalAlg::kGraceHashJoin:
+          plan->RecordAlg(d.alg, result.est);
           join = plan->Own(std::make_unique<GraceHashJoin>(
               left.op, right.op, node->children[0]->schema.key_arity(),
               ToHashType(node->join_type), options_.hash_memory_rows,
@@ -602,6 +789,11 @@ Planner::Built Planner::BuildNode(LogicalNode* node, PhysicalPlan* plan,
           break;
         default:
           OVC_CHECK(false);
+      }
+      if (parallel_join) {
+        // BuildExchangeRegion recorded the region's algorithms; record
+        // the worker join itself so Uses() still sees it.
+        plan->RecordAlgBeforeLast(d.alg, join_worker_est);
       }
       if (d.normalize) {
         // Hash joins lay rows out as (probe keys, probe payloads, all
@@ -625,20 +817,20 @@ Planner::Built Planner::BuildNode(LogicalNode* node, PhysicalPlan* plan,
       }
       result.op = join;
       result.prop = d.out;
-      plan->algorithms_.push_back(d.alg);
       if (parallel_join) {
         explain = ExplainParallelRegion(
-            options_.parallelism, result.prop,
+            options_.parallelism, result.prop, result.est,
             ExplainLine(d.alg, result.prop,
                         std::string(JoinTypeName(node->join_type)) +
-                            ", per worker"),
+                            ", per worker",
+                        join_worker_est),
             SplitExchange::Policy::kHashKey,
             OrderProperty::Sorted(node->children[0]->schema.key_arity(),
                                   /*ovc=*/true),
-            {left.explain, right.explain});
+            {left.explain, right.explain}, {left_split, right_split});
       } else {
         explain = ExplainLine(d.alg, result.prop,
-                              JoinTypeName(node->join_type)) +
+                              JoinTypeName(node->join_type), result.est) +
                   IndentBlock(left.explain) + IndentBlock(right.explain);
       }
       break;
@@ -669,15 +861,43 @@ Planner::Built Planner::BuildNode(LogicalNode* node, PhysicalPlan* plan,
       UnaryDecision d = DecideAggregate(*node, child.prop, options_);
       const bool parallel_agg =
           pre_parallel_agg && parallel_agg_for(child.prop);
+      double alg_cost = 0;
+      switch (d.alg) {
+        case PhysicalAlg::kInStreamAggregate:
+          alg_cost = model.InStreamAggregate(child.est.rows, out_rows,
+                                             node->group_prefix,
+                                             child.prop.has_ovc);
+          break;
+        case PhysicalAlg::kInSortAggregate:
+          alg_cost = model.InSortAggregate(child.est.rows, out_rows,
+                                           node->group_prefix, out_rows,
+                                           node->schema.total_columns());
+          break;
+        case PhysicalAlg::kHashAggregate:
+          alg_cost = model.HashAggregate(child.est.rows, out_rows,
+                                         node->schema.total_columns());
+          break;
+        default:
+          OVC_CHECK(false);
+      }
+      result.est = {out_rows, child.est.cost + alg_cost};
+      NodeEstimate agg_split = child.est;
+      NodeEstimate agg_worker_est = result.est;
       if (parallel_agg) {
+        agg_split.cost +=
+            model.SplitExchange(child.est.rows, /*hash_policy=*/true);
+        agg_worker_est.cost = agg_split.cost + alg_cost;
+        result.est.cost =
+            agg_worker_est.cost +
+            model.MergeExchange(out_rows, options_.parallelism);
         const uint32_t group_prefix = node->group_prefix;
         const std::vector<AggregateSpec>& aggregates = node->aggregates;
         const bool in_stream = d.alg == PhysicalAlg::kInStreamAggregate;
         TempFileManager* temp = temp_;
         const SortConfig& sort_config = options_.sort_config;
         result.op = BuildExchangeRegion(
-            {child.op}, {region_ctrs}, SplitExchange::Policy::kHashKey,
-            group_prefix, ctrs, plan,
+            {child.op}, {region_ctrs}, {agg_split}, result.est,
+            SplitExchange::Policy::kHashKey, group_prefix, ctrs, plan,
             [=](const std::vector<Operator*>& parts,
                 QueryCounters* wc) -> std::unique_ptr<Operator> {
               if (in_stream) {
@@ -687,7 +907,9 @@ Planner::Built Planner::BuildNode(LogicalNode* node, PhysicalPlan* plan,
               return std::make_unique<InSortAggregate>(
                   parts[0], group_prefix, aggregates, wc, temp, sort_config);
             });
+        plan->RecordAlgBeforeLast(d.alg, agg_worker_est);
       } else {
+        plan->RecordAlg(d.alg, result.est);
         switch (d.alg) {
           case PhysicalAlg::kInStreamAggregate: {
             InStreamAggregate::Options agg_options;
@@ -713,17 +935,19 @@ Planner::Built Planner::BuildNode(LogicalNode* node, PhysicalPlan* plan,
         }
       }
       result.prop = d.out;
-      plan->algorithms_.push_back(d.alg);
       if (parallel_agg) {
         explain = ExplainParallelRegion(
-            options_.parallelism, result.prop,
+            options_.parallelism, result.prop, result.est,
             ExplainLine(d.alg, result.prop,
                         "group=" + std::to_string(node->group_prefix) +
-                            ", per worker"),
-            SplitExchange::Policy::kHashKey, child.prop, {child.explain});
+                            ", per worker",
+                        agg_worker_est),
+            SplitExchange::Policy::kHashKey, child.prop, {child.explain},
+            {agg_split});
       } else {
         explain = ExplainLine(d.alg, result.prop,
-                              "group=" + std::to_string(node->group_prefix)) +
+                              "group=" + std::to_string(node->group_prefix),
+                              result.est) +
                   IndentBlock(child.explain);
       }
       break;
@@ -733,11 +957,29 @@ Planner::Built Planner::BuildNode(LogicalNode* node, PhysicalPlan* plan,
       Built child = BuildNode(node->children[0].get(), plan, depth + 1, ctrs);
       UnaryDecision d = DecideDistinct(*node, child.prop, options_);
       if (d.sort_child) {
-        child.explain = ExplainLine(PhysicalAlg::kSort, SortOutput(
-            node->children[0]->schema, options_.sort_config), "inserted") +
-            IndentBlock(child.explain);
-        child = InsertSort(child, plan, depth + 1, ctrs);
+        child = InsertSort(std::move(child), node->children[0].get(), plan,
+                           depth + 1, ctrs);
       }
+      double alg_cost = 0;
+      switch (d.alg) {
+        case PhysicalAlg::kDedup:
+          alg_cost = model.Dedup(child.est.rows);
+          break;
+        case PhysicalAlg::kInSortDistinct:
+          alg_cost = model.InSortAggregate(child.est.rows, out_rows,
+                                           node->schema.key_arity(),
+                                           out_rows,
+                                           node->schema.total_columns());
+          break;
+        case PhysicalAlg::kHashDistinct:
+          alg_cost = model.HashAggregate(child.est.rows, out_rows,
+                                         node->schema.total_columns());
+          break;
+        default:
+          OVC_CHECK(false);
+      }
+      result.est = {out_rows, child.est.cost + alg_cost};
+      plan->RecordAlg(d.alg, result.est);
       switch (d.alg) {
         case PhysicalAlg::kDedup:
           result.op = plan->Own(std::make_unique<DedupOperator>(child.op));
@@ -758,8 +1000,7 @@ Planner::Built Planner::BuildNode(LogicalNode* node, PhysicalPlan* plan,
           OVC_CHECK(false);
       }
       result.prop = d.out;
-      plan->algorithms_.push_back(d.alg);
-      explain = ExplainLine(d.alg, result.prop, "") +
+      explain = ExplainLine(d.alg, result.prop, "", result.est) +
                 IndentBlock(child.explain);
       break;
     }
@@ -768,24 +1009,24 @@ Planner::Built Planner::BuildNode(LogicalNode* node, PhysicalPlan* plan,
       Built left = BuildNode(node->children[0].get(), plan, depth + 1, ctrs);
       Built right = BuildNode(node->children[1].get(), plan, depth + 1, ctrs);
       if (!SortedWithCodesOn(left.prop, node->children[0]->schema)) {
-        left.explain = ExplainLine(PhysicalAlg::kSort, SortOutput(
-            node->children[0]->schema, options_.sort_config), "inserted") +
-            IndentBlock(left.explain);
-        left = InsertSort(left, plan, depth + 1, ctrs);
+        left = InsertSort(std::move(left), node->children[0].get(), plan,
+                          depth + 1, ctrs);
       }
       if (!SortedWithCodesOn(right.prop, node->children[1]->schema)) {
-        right.explain = ExplainLine(PhysicalAlg::kSort, SortOutput(
-            node->children[1]->schema, options_.sort_config), "inserted") +
-            IndentBlock(right.explain);
-        right = InsertSort(right, plan, depth + 1, ctrs);
+        right = InsertSort(std::move(right), node->children[1].get(), plan,
+                           depth + 1, ctrs);
       }
+      result.est = {out_rows,
+                    left.est.cost + right.est.cost +
+                        model.SetOperation(left.est.rows, right.est.rows,
+                                           out_rows)};
       result.op = plan->Own(std::make_unique<SetOperation>(
           left.op, right.op, node->set_op, node->set_all, ctrs));
       result.prop =
           OrderProperty::Sorted(node->schema.key_arity(), /*ovc=*/true);
-      plan->algorithms_.push_back(PhysicalAlg::kSetOperation);
+      plan->RecordAlg(PhysicalAlg::kSetOperation, result.est);
       explain = ExplainLine(PhysicalAlg::kSetOperation, result.prop,
-                            node->set_all ? "all" : "distinct") +
+                            node->set_all ? "all" : "distinct", result.est) +
                 IndentBlock(left.explain) + IndentBlock(right.explain);
       break;
     }
@@ -812,35 +1053,51 @@ Planner::Built Planner::BuildNode(LogicalNode* node, PhysicalPlan* plan,
       UnaryDecision d = DecideSort(*node, child.prop, options_);
       const bool parallel_sort =
           pre_parallel_sort && parallel_sort_for(child.prop);
+      const double sort_cost =
+          d.alg == PhysicalAlg::kElidedSort
+              ? 0.0
+              : SortCostFor(model, node->card, node->schema);
+      result.est = {out_rows, child.est.cost + sort_cost};
+      NodeEstimate sort_split = child.est;
+      NodeEstimate sort_worker_est = result.est;
       if (d.alg == PhysicalAlg::kElidedSort) {
         result.op = child.op;  // the logical sort vanishes entirely
         ++plan->elided_sorts_;
+        plan->RecordAlg(d.alg, result.est);
       } else if (parallel_sort) {
+        sort_split.cost +=
+            model.SplitExchange(child.est.rows, /*hash_policy=*/false);
+        sort_worker_est.cost = sort_split.cost + sort_cost;
+        result.est.cost =
+            sort_worker_est.cost +
+            model.MergeExchange(out_rows, options_.parallelism);
         TempFileManager* temp = temp_;
         const SortConfig& sort_config = options_.sort_config;
         result.op = BuildExchangeRegion(
-            {child.op}, {region_ctrs}, SplitExchange::Policy::kRoundRobin,
-            0, ctrs, plan,
+            {child.op}, {region_ctrs}, {sort_split}, result.est,
+            SplitExchange::Policy::kRoundRobin, 0, ctrs, plan,
             [temp, &sort_config](const std::vector<Operator*>& parts,
                                  QueryCounters* wc) {
               return std::make_unique<SortOperator>(parts[0], wc, temp,
                                                     sort_config);
             });
+        plan->RecordAlgBeforeLast(d.alg, sort_worker_est);
         ++plan->explicit_sorts_;
       } else {
+        plan->RecordAlg(d.alg, result.est);
         result.op = plan->Own(std::make_unique<SortOperator>(
             child.op, ctrs, temp_, options_.sort_config));
         ++plan->explicit_sorts_;
       }
       result.prop = d.out;
-      plan->algorithms_.push_back(d.alg);
       if (parallel_sort) {
         explain = ExplainParallelRegion(
-            options_.parallelism, result.prop,
-            ExplainLine(d.alg, result.prop, "per worker"),
-            SplitExchange::Policy::kRoundRobin, child.prop, {child.explain});
+            options_.parallelism, result.prop, result.est,
+            ExplainLine(d.alg, result.prop, "per worker", sort_worker_est),
+            SplitExchange::Policy::kRoundRobin, child.prop, {child.explain},
+            {sort_split});
       } else {
-        explain = ExplainLine(d.alg, result.prop, "") +
+        explain = ExplainLine(d.alg, result.prop, "", result.est) +
                   IndentBlock(child.explain);
       }
       break;
@@ -851,18 +1108,17 @@ Planner::Built Planner::BuildNode(LogicalNode* node, PhysicalPlan* plan,
       UnaryDecision d = DecideTopK(*node, child.prop, options_);
       Operator* input = child.op;
       if (d.sort_child) {
-        child.explain = ExplainLine(PhysicalAlg::kSort, SortOutput(
-            node->children[0]->schema, options_.sort_config), "inserted") +
-            IndentBlock(child.explain);
-        child = InsertSort(child, plan, depth + 1, ctrs);
+        child = InsertSort(std::move(child), node->children[0].get(), plan,
+                           depth + 1, ctrs);
         input = child.op;
       }
       result.op =
           plan->Own(std::make_unique<LimitOperator>(input, node->limit));
       result.prop = d.out;
-      plan->algorithms_.push_back(PhysicalAlg::kLimit);
+      result.est = {out_rows, child.est.cost + model.Limit(out_rows)};
+      plan->RecordAlg(PhysicalAlg::kLimit, result.est);
       explain = ExplainLine(PhysicalAlg::kLimit, result.prop,
-                            "k=" + std::to_string(node->limit)) +
+                            "k=" + std::to_string(node->limit), result.est) +
                 IndentBlock(child.explain);
       break;
     }
@@ -874,9 +1130,10 @@ Planner::Built Planner::BuildNode(LogicalNode* node, PhysicalPlan* plan,
       result.op =
           plan->Own(std::make_unique<LimitOperator>(child.op, node->limit));
       result.prop = child.prop;
-      plan->algorithms_.push_back(PhysicalAlg::kLimit);
+      result.est = {out_rows, child.est.cost + model.Limit(out_rows)};
+      plan->RecordAlg(PhysicalAlg::kLimit, result.est);
       explain = ExplainLine(PhysicalAlg::kLimit, result.prop,
-                            "k=" + std::to_string(node->limit)) +
+                            "k=" + std::to_string(node->limit), result.est) +
                 IndentBlock(child.explain);
       break;
     }

@@ -9,19 +9,23 @@
 //    out of one sort-based operator (or out of sorted storage) make the
 //    next sort free.
 //  * Join: merge join when both inputs arrive sorted with codes. When only
-//    the probe side does: the order-preserving in-memory hash join
-//    (Section 4.9) if the caller vouches the build fits in memory
+//    the probe side does: the probe's order is never discarded -- the
+//    build side is sorted and merge join reuses the probe's order, or,
+//    if the caller vouches the build fits in memory
 //    (assume_build_fits_memory -- the operator aborts past its budget),
-//    otherwise the build side is sorted and merge join reuses the probe's
-//    order. The spilling grace hash join runs when neither side has order
-//    (a parent's order interest is served by an order-producing operator
-//    over the join output -- cheaper than sorting both inputs, pending the
-//    ROADMAP's cost model); sorts are inserted to enable merge join for
+//    the order-preserving in-memory hash join (Section 4.9), whichever
+//    the cost model estimates cheaper. When neither side has order the
+//    open call is grace hash join versus sorting both inputs, decided by
+//    estimated cost under the memory budgets (see plan/cost_model.h and
+//    docs/COST_MODEL.md); sorts are inserted to enable merge join for
 //    the join types hash joins cannot run (and under prefer_sort_based).
 //  * Aggregate: in-stream aggregation over sorted input (boundaries from
 //    codes, Section 4.5); in-sort aggregation (early duplicate collapse,
 //    Figure 5) when the input is unsorted but the parent has an interesting
-//    order or sort-based planning is preferred; hash aggregation otherwise.
+//    order or sort-based planning is preferred; hash versus in-sort by
+//    estimated cost otherwise (hash wins resident, in-sort once the group
+//    count overflows the hash budget). CostPolicy::kRuleBased pins the
+//    pre-cost-model policy for all of the above.
 //  * Distinct: code-only duplicate removal over sorted input (Section 4.4);
 //    in-sort or hash duplicate removal over unsorted input.
 //  * Set operations are inherently sort-based; sorts are inserted only for
@@ -57,6 +61,7 @@
 #include "common/temp_file.h"
 #include "exec/exchange.h"
 #include "exec/operator.h"
+#include "plan/cost_model.h"
 #include "plan/logical_plan.h"
 #include "plan/order_property.h"
 #include "sort/external_sort.h"
@@ -90,6 +95,20 @@ const char* PhysicalAlgName(PhysicalAlg alg);
 
 /// Planner knobs.
 struct PlannerOptions {
+  /// How the planner picks among physical alternatives where correctness
+  /// permits several: estimated-cost comparison (the default) or the pure
+  /// property/policy rules of PR 1..4. Under kCostBased the hard policy
+  /// gates stay as correctness/robustness guards (hash joins only for the
+  /// types they support, an ordered coded probe is never discarded, an
+  /// order-interested parent gets an order-producing aggregate), and the
+  /// cost model decides the remaining open calls: grace-hash versus
+  /// sort+merge-join under the memory budgets, hash versus in-sort
+  /// aggregation/distinct by estimated duplicate density, and the
+  /// vouched in-memory hash join versus sorting the build side.
+  CostPolicy cost_policy = CostPolicy::kCostBased;
+  /// Per-event work constants for the cost model. Defaults to the
+  /// committed calibration (see docs/COST_MODEL.md to re-derive).
+  CostConstants cost_constants = CostConstants::Calibrated();
   /// True forces sort-based algorithms (inserting sorts) even where a
   /// hash-based operator would serve an order-indifferent consumer.
   bool prefer_sort_based = false;
@@ -165,6 +184,15 @@ class PhysicalPlan {
   /// All algorithm choices, one per physical node, in plan-tree order.
   const std::vector<PhysicalAlg>& algorithms() const { return algorithms_; }
 
+  /// Cost-model estimate per physical node, parallel to algorithms():
+  /// output rows and cumulative cost (the node plus its whole subtree).
+  const std::vector<NodeEstimate>& node_estimates() const {
+    return estimates_;
+  }
+  /// Estimate for the plan root: total estimated rows out and total
+  /// estimated cost of the whole plan.
+  const NodeEstimate& root_estimate() const { return root_estimate_; }
+
   /// Worker pipelines of the widest exchange-parallel region (0 when the
   /// plan is serial).
   uint32_t parallel_workers() const { return parallel_workers_; }
@@ -190,6 +218,22 @@ class PhysicalPlan {
   Operator* Own(std::unique_ptr<Operator> op) {
     operators_.push_back(std::move(op));
     return operators_.back().get();
+  }
+
+  /// Records one physical node's algorithm choice and estimate (the two
+  /// vectors stay parallel; every chosen algorithm goes through here or
+  /// through RecordAlgBeforeLast).
+  void RecordAlg(PhysicalAlg alg, const NodeEstimate& est) {
+    algorithms_.push_back(alg);
+    estimates_.push_back(est);
+  }
+
+  /// Splices a node in front of the most recently recorded one -- used to
+  /// place an exchange region's worker operator before its merging
+  /// exchange in plan-tree order while keeping the vectors parallel.
+  void RecordAlgBeforeLast(PhysicalAlg alg, const NodeEstimate& est) {
+    algorithms_.insert(algorithms_.end() - 1, alg);
+    estimates_.insert(estimates_.end() - 1, est);
   }
 
   SplitExchange* OwnSplit(std::unique_ptr<SplitExchange> split) {
@@ -219,6 +263,8 @@ class PhysicalPlan {
   uint32_t elided_sorts_ = 0;
   uint32_t parallel_workers_ = 0;
   std::vector<PhysicalAlg> algorithms_;
+  std::vector<NodeEstimate> estimates_;
+  NodeEstimate root_estimate_;
   std::string explain_;
 };
 
@@ -240,6 +286,8 @@ class Planner {
   struct Built {
     Operator* op = nullptr;
     OrderProperty prop;
+    /// Output rows + cumulative cost estimate for this subtree.
+    NodeEstimate est;
     /// Relative-indentation explain block for this subtree.
     std::string explain;
   };
@@ -252,8 +300,10 @@ class Planner {
   Built BuildNode(LogicalNode* node, PhysicalPlan* plan, int depth,
                   QueryCounters* ctrs);
   /// Wraps `child` in a planner-inserted SortOperator metered by `ctrs`.
-  Built InsertSort(Built child, PhysicalPlan* plan, int depth,
-                   QueryCounters* ctrs);
+  /// `logical_child` provides the cardinality estimate for the sort's
+  /// cost annotation.
+  Built InsertSort(Built child, const LogicalNode* logical_child,
+                   PhysicalPlan* plan, int depth, QueryCounters* ctrs);
 
   /// True when exchange-parallel shapes are enabled and usable.
   bool ParallelEnabled() const {
@@ -270,11 +320,17 @@ class Planner {
   /// was built with; the i-th split shares it (subtree pulls and split
   /// routing both happen under that split's pump mutex). `merge_counters`
   /// meters the merging exchange itself, on the consumer thread.
+  /// `child_ests[i]` is child i's subtree estimate *including* its
+  /// splitting exchange's own cost (recorded on that split's plan node);
+  /// `region_est` is the whole region's output estimate, recorded on the
+  /// merging exchange.
   Operator* BuildExchangeRegion(
       const std::vector<Operator*>& children,
       const std::vector<QueryCounters*>& child_counters,
-      SplitExchange::Policy policy, uint32_t hash_prefix,
-      QueryCounters* merge_counters, PhysicalPlan* plan,
+      const std::vector<NodeEstimate>& child_ests,
+      const NodeEstimate& region_est, SplitExchange::Policy policy,
+      uint32_t hash_prefix, QueryCounters* merge_counters,
+      PhysicalPlan* plan,
       const std::function<std::unique_ptr<Operator>(
           const std::vector<Operator*>& parts, QueryCounters* wc)>&
           make_worker);
@@ -282,6 +338,9 @@ class Planner {
   QueryCounters* counters_;
   TempFileManager* temp_;
   PlannerOptions options_;
+  /// Prices the alternatives during planning and the chosen operators for
+  /// the per-node EXPLAIN annotations.
+  CostModel cost_model_;
 };
 
 /// Pure order-property inference: the property the planner's chosen

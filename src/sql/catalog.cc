@@ -1,6 +1,8 @@
 #include "sql/catalog.h"
 
+#include <algorithm>
 #include <cctype>
+#include <cmath>
 #include <utility>
 
 #include "core/ovc.h"
@@ -96,6 +98,26 @@ Status Catalog::RegisterGenerated(const std::string& name,
     owned_runs_.push_back(std::move(run));
   } else {
     source = plan::BufferSource(name, schema_ptr, buffer.get());
+  }
+
+  // The generator draws every key column independently and uniformly from
+  // `distinct_per_column` values, so a key prefix of length k has
+  // domain = distinct^k and the expected distinct count of n draws is
+  // domain * (1 - (1 - 1/domain)^n) -- the standard balls-in-bins
+  // estimate, which matters near the n ~ domain crossover where the
+  // naive min(rows, domain) cap overestimates by up to ~58%. These
+  // statistics feed the cost model's merge-vs-hash and in-sort-vs-hash
+  // decisions.
+  source.stats.key_distinct.clear();
+  double domain = 1.0;
+  const double rows_d = static_cast<double>(n_rows);
+  for (uint32_t k = 0; k < schema_ptr->key_arity(); ++k) {
+    domain = std::min(domain * static_cast<double>(spec.distinct_per_column),
+                      1e18);
+    const double expected =
+        domain * -std::expm1(rows_d * std::log1p(-1.0 / domain));
+    source.stats.key_distinct.push_back(
+        std::max(1.0, std::min(expected, rows_d)));
   }
 
   Status status = Register(std::move(source), std::move(columns));

@@ -1,13 +1,19 @@
 // ovcsql: interactive (and scriptable) SQL shell over the OVC engine.
 //
 //   ./build/ovcsql [--parallelism=N] [--prefer-sort] [--memory-rows=N]
+//                  [--hash-memory-rows=N] [--rule-based]
 //
 // Reads statements from stdin, terminated by ';'. Lines starting with '.'
 // are meta commands (run `.help`). EXPLAIN prints the physical plan the
-// order-property-aware planner chose -- elided sorts, merge-vs-hash
-// joins, in-stream/in-sort aggregation, and (with --parallelism) the
-// exchange-parallel shapes. A CI smoke test pipes tools/smoke.sql through
-// this binary and greps the plans (see .github/workflows/ci.yml).
+// cost-based, order-property-aware planner chose -- elided sorts,
+// merge-vs-hash joins, in-stream/in-sort aggregation, per-node
+// {rows=.. cost=..} estimates, and (with --parallelism) the
+// exchange-parallel shapes. --rule-based pins the pre-cost-model policy
+// planner; --hash-memory-rows shrinks the hash budget to watch the
+// cost-based planner flip join and aggregation strategies. A CI smoke
+// test pipes tools/smoke.sql through this binary and greps the plans, and
+// tools/check_docs.sh replays the EXPLAIN snippets embedded in docs/
+// (see .github/workflows/ci.yml).
 
 #include <cstdio>
 #include <cstdlib>
@@ -191,10 +197,16 @@ int main(int argc, char** argv) {
     } else if (std::strncmp(arg, "--memory-rows=", 14) == 0) {
       options.planner.sort_config.memory_rows =
           std::strtoull(arg + 14, nullptr, 10);
+    } else if (std::strncmp(arg, "--hash-memory-rows=", 19) == 0) {
+      options.planner.hash_memory_rows =
+          std::strtoull(arg + 19, nullptr, 10);
+    } else if (std::strcmp(arg, "--rule-based") == 0) {
+      options.planner.cost_policy = plan::CostPolicy::kRuleBased;
     } else {
       std::fprintf(stderr,
                    "usage: ovcsql [--parallelism=N] [--prefer-sort] "
-                   "[--memory-rows=N]\n");
+                   "[--memory-rows=N] [--hash-memory-rows=N] "
+                   "[--rule-based]\n");
       return 2;
     }
   }
