@@ -1,0 +1,125 @@
+// Profiling-instrumentation overhead on the hot batched path.
+//
+// EXPLAIN ANALYZE wraps every operator in a ProfiledOperator that reads
+// the tick counter around each Open/NextBatch/Close and bumps per-slice
+// row/batch counts. The observability layer's budget is <= 2% slowdown on
+// the batched scan -> filter -> limit pipeline (the same shape and data as
+// bench_batch_pipeline's Batched case); this benchmark prices exactly
+// that: the identical heap-built pipeline drained through NextBatch, bare
+// versus with every operator wrapped. Compare the Bare and Profiled
+// wall times in BENCH_PR6.json -- the delta is the instrumentation.
+//
+// Methodology as everywhere in bench/: single thread, warm inputs, paper-
+// shaped data, the tree behind an opaque Operator* so the baseline pays
+// real virtual dispatch.
+
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include <benchmark/benchmark.h>
+
+#include "bench_util.h"
+#include "common/profile.h"
+#include "exec/filter.h"
+#include "exec/limit.h"
+#include "exec/profiled_operator.h"
+#include "exec/scan.h"
+
+namespace ovc {
+namespace {
+
+constexpr uint64_t kRows = 1 << 20;
+constexpr uint64_t kDistinct = 16;
+
+struct Fixture {
+  Schema schema{2, 2};
+  RowBuffer table;
+  InMemoryRun run;
+
+  Fixture()
+      : table(bench::MakeTable(schema, kRows, kDistinct, /*seed=*/1,
+                               /*sorted=*/true)),
+        run(bench::RunFromSorted(schema, table)) {}
+};
+
+Fixture& GetFixture() {
+  static Fixture* fixture = new Fixture();
+  return *fixture;
+}
+
+// The key-column range predicate from bench_batch_pipeline (~50% pass in
+// long runs over the sorted stream).
+bool KeepRow(const uint64_t* row) { return row[0] % 2 == 0; }
+void KeepRows(const RowBlock& block, uint8_t* keep) {
+  for (uint32_t i = 0; i < block.size(); ++i) {
+    keep[i] = block.row(i)[0] % 2 == 0;
+  }
+}
+
+/// Heap-built operator tree behind an opaque root, PhysicalPlan-style.
+struct Pipeline {
+  std::vector<std::unique_ptr<Operator>> operators;
+  Operator* root = nullptr;
+
+  Operator* Own(std::unique_ptr<Operator> op) {
+    operators.push_back(std::move(op));
+    return operators.back().get();
+  }
+};
+
+/// scan -> filter -> limit; with `stats` non-null every operator is
+/// wrapped in a ProfiledOperator writing to its own slice, exactly as the
+/// planner wires a profiled plan (stats[0..2], scan to limit).
+Pipeline BuildPipeline(Fixture& f, OperatorStats* stats) {
+  Pipeline p;
+  auto meter = [&](Operator* op, int i) {
+    if (stats == nullptr) return op;
+    return p.Own(std::make_unique<ProfiledOperator>(op, &stats[i]));
+  };
+  Operator* scan = meter(p.Own(std::make_unique<RunScan>(&f.schema, &f.run)), 0);
+  Operator* filter = meter(
+      p.Own(std::make_unique<FilterOperator>(scan, KeepRow, KeepRows)), 1);
+  p.root = meter(p.Own(std::make_unique<LimitOperator>(filter, kRows)), 2);
+  return p;
+}
+
+void RunBatched(benchmark::State& state, bool profiled) {
+  Fixture& f = GetFixture();
+  OperatorStats stats[3];
+  for (auto _ : state) {
+    for (OperatorStats& s : stats) s.Reset();
+    Pipeline pipeline = BuildPipeline(f, profiled ? stats : nullptr);
+    Operator* root = pipeline.root;
+    benchmark::DoNotOptimize(root);  // opaque: no TU-local devirtualization
+    root->Open();
+    RowBlock block(f.schema.total_columns(), RowBlock::kDefaultRows);
+    uint64_t n = 0;
+    uint64_t sum = 0;
+    uint32_t produced;
+    while ((produced = root->NextBatch(&block)) > 0) {
+      for (uint32_t i = 0; i < produced; ++i) {
+        sum += block.row(i)[2];
+      }
+      n += produced;
+    }
+    root->Close();
+    benchmark::DoNotOptimize(n);
+    benchmark::DoNotOptimize(sum);
+    benchmark::DoNotOptimize(stats[0].rows_out);
+  }
+  state.SetItemsProcessed(state.iterations() * kRows);
+}
+
+void ScanFilterLimit_Batched_Bare(benchmark::State& state) {
+  RunBatched(state, /*profiled=*/false);
+}
+void ScanFilterLimit_Batched_Profiled(benchmark::State& state) {
+  RunBatched(state, /*profiled=*/true);
+}
+
+BENCHMARK(ScanFilterLimit_Batched_Bare)->Unit(benchmark::kMillisecond);
+BENCHMARK(ScanFilterLimit_Batched_Profiled)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace ovc

@@ -19,17 +19,19 @@
 # constants are calibrated from (see docs/COST_MODEL.md), the exchange
 # merge (OVC vs plain, threaded), the planner's parallel sort shape at
 # 1/2/4 workers (multi-worker scaling is bounded by the machine's core
-# count), and the SQL end-to-end suite.
+# count), the SQL end-to-end suite, and the profiling-overhead check
+# (instrumented vs bare batched pipeline; see docs/OBSERVABILITY.md).
 
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
 
 BUILD_DIR=build
-OUT=${BENCH_OUT:-BENCH_PR5.json}
+OUT=${BENCH_OUT:-BENCH_PR6.json}
 MIN_TIME=0.5
 BENCHES=(bench_batch_pipeline bench_pq_merge bench_sort_ovc
-         bench_exchange_merge bench_parallel_sort bench_sql_e2e)
+         bench_exchange_merge bench_parallel_sort bench_sql_e2e
+         bench_profile_overhead)
 
 while [[ $# -gt 0 ]]; do
   case "$1" in

@@ -59,7 +59,21 @@ struct QueryCounters {
            " row_cmp=" + std::to_string(row_comparisons) +
            " hash=" + std::to_string(hash_computations) +
            " rows_spilled=" + std::to_string(rows_spilled) +
+           " bytes_spilled=" + std::to_string(bytes_spilled) +
            " merge_bypass=" + std::to_string(merge_bypass_rows);
+  }
+
+  friend bool operator==(const QueryCounters& a, const QueryCounters& b) {
+    return a.column_comparisons == b.column_comparisons &&
+           a.code_comparisons == b.code_comparisons &&
+           a.row_comparisons == b.row_comparisons &&
+           a.hash_computations == b.hash_computations &&
+           a.rows_spilled == b.rows_spilled &&
+           a.bytes_spilled == b.bytes_spilled &&
+           a.merge_bypass_rows == b.merge_bypass_rows;
+  }
+  friend bool operator!=(const QueryCounters& a, const QueryCounters& b) {
+    return !(a == b);
   }
 };
 

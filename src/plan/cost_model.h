@@ -104,6 +104,13 @@ struct TableStats {
   uint64_t row_count = 0;
   bool row_count_known = false;
   std::vector<double> key_distinct;
+
+  // --- runtime feedback (EXPLAIN ANALYZE / QueryProfile) ---
+  /// Scan output rows observed by the most recent profiled run that fed
+  /// back into these stats (SqlSession::ApplyFeedbackTo); 0 until then.
+  double observed_rows = 0;
+  /// How many profiled runs have fed back into observed_rows.
+  uint64_t feedback_runs = 0;
 };
 
 /// A node's estimated output cardinality: row count plus distinct counts

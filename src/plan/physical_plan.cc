@@ -8,6 +8,7 @@
 #include "exec/hash_join.h"
 #include "exec/in_sort_aggregate.h"
 #include "exec/limit.h"
+#include "exec/profiled_operator.h"
 #include "exec/project.h"
 #include "exec/sort_operator.h"
 #include "plan/cost_model.h"
@@ -463,12 +464,31 @@ std::string IndentBlock(const std::string& block) {
   return out;
 }
 
-std::string ExplainLine(PhysicalAlg alg, const OrderProperty& prop,
-                        const std::string& detail, const NodeEstimate& est) {
+const char* SplitPolicyName(SplitExchange::Policy policy) {
+  switch (policy) {
+    case SplitExchange::Policy::kHashKey:
+      return "hash";
+    case SplitExchange::Policy::kRoundRobin:
+      return "round-robin";
+    case SplitExchange::Policy::kRangeFirstColumn:
+      return "range";
+  }
+  return "unknown";
+}
+
+/// The explain-line prefix shared by EXPLAIN and the profile's node
+/// labels: "alg(detail) [order]".
+std::string ProfileLabel(PhysicalAlg alg, const OrderProperty& prop,
+                         const std::string& detail) {
   std::string line = PhysicalAlgName(alg);
   if (!detail.empty()) line += "(" + detail + ")";
-  line += " [" + prop.ToString() + "] " + RenderEstimate(est) + "\n";
+  line += " [" + prop.ToString() + "]";
   return line;
+}
+
+std::string ExplainLine(PhysicalAlg alg, const OrderProperty& prop,
+                        const std::string& detail, const NodeEstimate& est) {
+  return ProfileLabel(alg, prop, detail) + " " + RenderEstimate(est) + "\n";
 }
 
 }  // namespace
@@ -514,15 +534,46 @@ PhysicalPlan Planner::Plan(LogicalNode* root) {
   AnnotateCardinalities(root, options_.cost_constants);
   AnnotateInferred(root, options_);
   PhysicalPlan plan;
+  if (options_.profile) plan.profile_ = std::make_unique<QueryProfile>();
   Built built = BuildNode(root, &plan, 0, counters_);
   plan.root_ = built.op;
   plan.root_order_ = built.prop;
   plan.root_estimate_ = built.est;
+  if (plan.profile_) plan.profile_->SetRoot(built.pnode);
   // The operator contract (exec/operator.h) must agree with what the
   // decision rules predicted; a mismatch is a planner bug.
   OVC_DCHECK(built.op->sorted() == built.prop.sorted());
   OVC_DCHECK(built.op->has_ovc() == built.prop.has_ovc);
   return plan;
+}
+
+Planner::Meter Planner::NewMeter(PhysicalPlan* plan, QueryCounters* fallback) {
+  Meter m;
+  QueryProfile* profile = plan->profile();
+  if (profile == nullptr) {
+    m.ctrs = fallback;
+    return m;
+  }
+  m.node = profile->AddNode();
+  m.slice = profile->AddSlice(m.node);
+  m.ctrs = &m.slice->counters;
+  return m;
+}
+
+Operator* Planner::Wrap(PhysicalPlan* plan, Operator* op, const Meter& m) {
+  if (m.slice == nullptr) return op;
+  return plan->Own(std::make_unique<ProfiledOperator>(op, m.slice));
+}
+
+void Planner::SetProfileLine(PhysicalPlan* plan, const Meter& m,
+                             PhysicalAlg alg, const std::string& detail,
+                             const OrderProperty& prop,
+                             const NodeEstimate& est,
+                             const std::vector<int>& children,
+                             const std::string& table) {
+  if (m.node < 0) return;
+  plan->profile()->SetLine(m.node, ProfileLabel(alg, prop, detail), est.rows,
+                           est.cost, children, table);
 }
 
 Planner::Built Planner::InsertSort(Built child,
@@ -536,7 +587,8 @@ Planner::Built Planner::InsertSort(Built child,
   // of deep inside a downstream operator's precondition check.
   OVC_CHECK(options_.sort_config.use_ovc ||
             options_.sort_config.naive_output_codes);
-  auto sort = std::make_unique<SortOperator>(child.op, ctrs, temp_,
+  const Meter m = NewMeter(plan, ctrs);
+  auto sort = std::make_unique<SortOperator>(child.op, m.ctrs, temp_,
                                              options_.sort_config);
   const Schema& schema = child.op->schema();
   const CardEstimate cc = CardOf(*logical_child, options_.cost_constants);
@@ -544,10 +596,13 @@ Planner::Built Planner::InsertSort(Built child,
   built.prop = SortOutput(schema, options_.sort_config);
   built.est.rows = child.est.rows;
   built.est.cost = child.est.cost + SortCostFor(cost_model_, cc, schema);
-  built.op = plan->Own(std::move(sort));
+  built.op = Wrap(plan, plan->Own(std::move(sort)), m);
   built.explain = ExplainLine(PhysicalAlg::kSort, built.prop, "inserted",
                               built.est) +
                   IndentBlock(child.explain);
+  SetProfileLine(plan, m, PhysicalAlg::kSort, "inserted", built.prop,
+                 built.est, {child.pnode});
+  built.pnode = m.node;
   ++plan->inserted_sorts_;
   plan->RecordAlg(PhysicalAlg::kSort, built.est);
   return built;
@@ -561,48 +616,99 @@ Operator* Planner::BuildExchangeRegion(
     uint32_t hash_prefix, QueryCounters* merge_counters, PhysicalPlan* plan,
     const std::function<std::unique_ptr<Operator>(
         const std::vector<Operator*>& parts, QueryCounters* wc)>&
-        make_worker) {
+        make_worker,
+    const RegionProfile& rp, Meter* merge_meter) {
   OVC_CHECK(children.size() == child_counters.size());
   OVC_CHECK(children.size() == child_ests.size());
+  QueryProfile* profile = plan->profile();
   const uint32_t workers = options_.parallelism;
   // A split pumps the shared child from whichever worker thread pulls
   // first, all under its pump mutex -- so it shares the region counters
   // its child subtree was built with (one instance per split, rolled up
-  // after the run, never the consumer-side counters).
+  // after the run, never the consumer-side counters). Under profiling the
+  // routing work is charged to the split's own profile node instead.
   std::vector<SplitExchange*> splits;
+  std::vector<int> split_nodes;
   for (size_t c = 0; c < children.size(); ++c) {
     plan->RecordAlg(PhysicalAlg::kSplitExchange, child_ests[c]);
+    QueryCounters* split_ctrs = child_counters[c];
+    int snode = -1;
+    if (profile != nullptr) {
+      snode = profile->AddNode();
+      // Slice 0 meters the routing work (hash computations, under the pump
+      // mutex); the per-partition pull slices added below meter rows and
+      // pull time, one per consuming thread.
+      split_ctrs = &profile->AddSlice(snode)->counters;
+      profile->SetLine(snode,
+                       ProfileLabel(PhysicalAlg::kSplitExchange, rp.part_prop,
+                                    SplitPolicyName(policy)),
+                       child_ests[c].rows, child_ests[c].cost,
+                       {rp.child_pnodes[c]});
+    }
+    split_nodes.push_back(snode);
     splits.push_back(plan->OwnSplit(std::make_unique<SplitExchange>(
-        children[c], workers, policy, child_counters[c],
+        children[c], workers, policy, split_ctrs,
         std::vector<uint64_t>{}, hash_prefix)));
+  }
+  int wnode = -1;
+  if (profile != nullptr) {
+    wnode = profile->AddNode();
+    profile->SetLine(
+        wnode, ProfileLabel(rp.worker_alg, rp.worker_prop, rp.worker_detail),
+        rp.worker_est.rows, rp.worker_est.cost, split_nodes);
   }
   std::vector<Operator*> worker_ops;
   for (uint32_t w = 0; w < workers; ++w) {
     std::vector<Operator*> parts;
     parts.reserve(splits.size());
-    for (SplitExchange* split : splits) parts.push_back(split->partition(w));
-    worker_ops.push_back(
-        plan->Own(make_worker(parts, plan->NewWorkerCounters())));
+    for (size_t c = 0; c < splits.size(); ++c) {
+      Operator* part = splits[c]->partition(w);
+      if (profile != nullptr) {
+        // One slice per partition stream: each stream is pulled by exactly
+        // one worker, and their row counts sum to the split's output.
+        part = plan->Own(std::make_unique<ProfiledOperator>(
+            part, profile->AddSlice(split_nodes[c])));
+      }
+      parts.push_back(part);
+    }
+    QueryCounters* wc = nullptr;
+    OperatorStats* wslice = nullptr;
+    if (profile != nullptr) {
+      // The worker's stats slice doubles as its counters instance,
+      // preserving the one-instance-per-producer-thread contract.
+      wslice = profile->AddSlice(wnode);
+      wc = &wslice->counters;
+    } else {
+      wc = plan->NewWorkerCounters();
+    }
+    Operator* worker = plan->Own(make_worker(parts, wc));
+    if (wslice != nullptr) {
+      worker = plan->Own(std::make_unique<ProfiledOperator>(worker, wslice));
+    }
+    worker_ops.push_back(worker);
   }
   plan->RecordAlg(PhysicalAlg::kMergeExchange, region_est);
   if (workers > plan->parallel_workers_) plan->parallel_workers_ = workers;
-  return plan->Own(std::make_unique<MergeExchange>(worker_ops, merge_counters,
+  Meter mm;
+  mm.ctrs = merge_counters;
+  if (profile != nullptr) {
+    mm.node = profile->AddNode();
+    mm.slice = profile->AddSlice(mm.node);
+    mm.ctrs = &mm.slice->counters;
+    profile->SetLine(mm.node,
+                     ProfileLabel(PhysicalAlg::kMergeExchange, rp.worker_prop,
+                                  std::to_string(workers) + " workers"),
+                     region_est.rows, region_est.cost, {wnode});
+  }
+  // The caller wraps the returned exchange with this meter (after any
+  // normalizing projection), so consumer-side pull time and output rows
+  // land on the merge node.
+  *merge_meter = mm;
+  return plan->Own(std::make_unique<MergeExchange>(worker_ops, mm.ctrs,
                                                    options_.exchange));
 }
 
 namespace {
-
-const char* SplitPolicyName(SplitExchange::Policy policy) {
-  switch (policy) {
-    case SplitExchange::Policy::kHashKey:
-      return "hash";
-    case SplitExchange::Policy::kRoundRobin:
-      return "round-robin";
-    case SplitExchange::Policy::kRangeFirstColumn:
-      return "range";
-  }
-  return "unknown";
-}
 
 /// Explain block for an exchange-parallel region: merge-exchange over
 /// `workers` copies of the worker operator (`worker_line`), fed by one
@@ -639,19 +745,26 @@ Planner::Built Planner::BuildNode(LogicalNode* node, PhysicalPlan* plan,
 
   switch (node->op) {
     case LogicalOp::kScan: {
-      result.op = plan->Own(node->source.factory());
+      const Meter m = NewMeter(plan, ctrs);
+      result.op = Wrap(plan, plan->Own(node->source.factory()), m);
       result.prop = node->source.order;
       result.est = {out_rows, model.Scan(out_rows)};
       plan->RecordAlg(PhysicalAlg::kScan, result.est);
       explain = ExplainLine(PhysicalAlg::kScan, result.prop,
                             node->source.name, result.est);
+      SetProfileLine(plan, m, PhysicalAlg::kScan, node->source.name,
+                     result.prop, result.est, {}, node->source.name);
+      result.pnode = m.node;
       break;
     }
 
     case LogicalOp::kFilter: {
       Built child = BuildNode(node->children[0].get(), plan, depth + 1, ctrs);
-      result.op = plan->Own(std::make_unique<FilterOperator>(
-          child.op, node->predicate, node->block_predicate));
+      const Meter m = NewMeter(plan, ctrs);
+      result.op = Wrap(plan,
+                       plan->Own(std::make_unique<FilterOperator>(
+                           child.op, node->predicate, node->block_predicate)),
+                       m);
       result.prop = FilterOutput(child.prop);
       result.est = {out_rows, child.est.cost +
                                   model.Filter(child.est.rows, out_rows)};
@@ -659,19 +772,28 @@ Planner::Built Planner::BuildNode(LogicalNode* node, PhysicalPlan* plan,
       explain = ExplainLine(PhysicalAlg::kFilter, result.prop, "",
                             result.est) +
                 IndentBlock(child.explain);
+      SetProfileLine(plan, m, PhysicalAlg::kFilter, "", result.prop,
+                     result.est, {child.pnode});
+      result.pnode = m.node;
       break;
     }
 
     case LogicalOp::kProject: {
       Built child = BuildNode(node->children[0].get(), plan, depth + 1, ctrs);
-      result.op = plan->Own(std::make_unique<ProjectOperator>(
-          child.op, node->schema, node->mapping));
+      const Meter m = NewMeter(plan, ctrs);
+      result.op = Wrap(plan,
+                       plan->Own(std::make_unique<ProjectOperator>(
+                           child.op, node->schema, node->mapping)),
+                       m);
       result.prop = ProjectOutput(*node, child.prop);
       result.est = {out_rows, child.est.cost + model.Project(out_rows)};
       plan->RecordAlg(PhysicalAlg::kProject, result.est);
       explain = ExplainLine(PhysicalAlg::kProject, result.prop, "",
                             result.est) +
                 IndentBlock(child.explain);
+      SetProfileLine(plan, m, PhysicalAlg::kProject, "", result.prop,
+                     result.est, {child.pnode});
+      result.pnode = m.node;
       break;
     }
 
@@ -748,6 +870,12 @@ Planner::Built Planner::BuildNode(LogicalNode* node, PhysicalPlan* plan,
                           model.MergeExchange(out_rows,
                                               options_.parallelism);
       }
+      // The meter of this node's plan line: the merge-exchange meter for
+      // the parallel shape (set by BuildExchangeRegion), a fresh serial
+      // meter otherwise. The final Wrap sits outside any normalizing
+      // projection, so the line's rows/time cover the node's full
+      // physical form.
+      Meter jm;
       switch (d.alg) {
         case PhysicalAlg::kMergeJoin:
           if (parallel_join) {
@@ -757,6 +885,15 @@ Planner::Built Planner::BuildNode(LogicalNode* node, PhysicalPlan* plan,
             // merge join per partition pair; merge-exchange restores the
             // single sorted coded output stream.
             const JoinType type = node->join_type;
+            RegionProfile rp;
+            rp.child_pnodes = {left.pnode, right.pnode};
+            rp.worker_alg = d.alg;
+            rp.worker_detail =
+                std::string(JoinTypeName(node->join_type)) + ", per worker";
+            rp.worker_prop = d.out;
+            rp.worker_est = join_worker_est;
+            rp.part_prop = OrderProperty::Sorted(
+                node->children[0]->schema.key_arity(), /*ovc=*/true);
             join = BuildExchangeRegion(
                 {left.op, right.op}, {left_ctrs, right_ctrs},
                 {left_split, right_split}, result.est,
@@ -766,26 +903,30 @@ Planner::Built Planner::BuildNode(LogicalNode* node, PhysicalPlan* plan,
                        QueryCounters* wc) {
                   return std::make_unique<MergeJoin>(parts[0], parts[1],
                                                      type, wc);
-                });
+                },
+                rp, &jm);
           } else {
             plan->RecordAlg(d.alg, result.est);
+            jm = NewMeter(plan, ctrs);
             join = plan->Own(std::make_unique<MergeJoin>(
-                left.op, right.op, node->join_type, ctrs));
+                left.op, right.op, node->join_type, jm.ctrs));
           }
           break;
         case PhysicalAlg::kOrderPreservingHashJoin:
           plan->RecordAlg(d.alg, result.est);
+          jm = NewMeter(plan, ctrs);
           join = plan->Own(std::make_unique<OrderPreservingHashJoin>(
               left.op, right.op, node->children[0]->schema.key_arity(),
               ToHashType(node->join_type), options_.hash_memory_rows,
-              ctrs));
+              jm.ctrs));
           break;
         case PhysicalAlg::kGraceHashJoin:
           plan->RecordAlg(d.alg, result.est);
+          jm = NewMeter(plan, ctrs);
           join = plan->Own(std::make_unique<GraceHashJoin>(
               left.op, right.op, node->children[0]->schema.key_arity(),
               ToHashType(node->join_type), options_.hash_memory_rows,
-              ctrs, temp_, options_.hash_partitions));
+              jm.ctrs, temp_, options_.hash_partitions));
           break;
         default:
           OVC_CHECK(false);
@@ -815,8 +956,13 @@ Planner::Built Planner::BuildNode(LogicalNode* node, PhysicalPlan* plan,
         join = plan->Own(
             std::make_unique<ProjectOperator>(join, node->schema, mapping));
       }
-      result.op = join;
+      result.op = Wrap(plan, join, jm);
       result.prop = d.out;
+      if (!parallel_join) {
+        SetProfileLine(plan, jm, d.alg, JoinTypeName(node->join_type),
+                       result.prop, result.est, {left.pnode, right.pnode});
+      }
+      result.pnode = jm.node;
       if (parallel_join) {
         explain = ExplainParallelRegion(
             options_.parallelism, result.prop, result.est,
@@ -895,44 +1041,65 @@ Planner::Built Planner::BuildNode(LogicalNode* node, PhysicalPlan* plan,
         const bool in_stream = d.alg == PhysicalAlg::kInStreamAggregate;
         TempFileManager* temp = temp_;
         const SortConfig& sort_config = options_.sort_config;
-        result.op = BuildExchangeRegion(
-            {child.op}, {region_ctrs}, {agg_split}, result.est,
-            SplitExchange::Policy::kHashKey, group_prefix, ctrs, plan,
-            [=](const std::vector<Operator*>& parts,
-                QueryCounters* wc) -> std::unique_ptr<Operator> {
-              if (in_stream) {
-                return std::make_unique<InStreamAggregate>(
-                    parts[0], group_prefix, aggregates, wc);
-              }
-              return std::make_unique<InSortAggregate>(
-                  parts[0], group_prefix, aggregates, wc, temp, sort_config);
-            });
+        RegionProfile rp;
+        rp.child_pnodes = {child.pnode};
+        rp.worker_alg = d.alg;
+        rp.worker_detail =
+            "group=" + std::to_string(node->group_prefix) + ", per worker";
+        rp.worker_prop = d.out;
+        rp.worker_est = agg_worker_est;
+        rp.part_prop = child.prop;
+        Meter am;
+        result.op = Wrap(
+            plan,
+            BuildExchangeRegion(
+                {child.op}, {region_ctrs}, {agg_split}, result.est,
+                SplitExchange::Policy::kHashKey, group_prefix, ctrs, plan,
+                [=](const std::vector<Operator*>& parts,
+                    QueryCounters* wc) -> std::unique_ptr<Operator> {
+                  if (in_stream) {
+                    return std::make_unique<InStreamAggregate>(
+                        parts[0], group_prefix, aggregates, wc);
+                  }
+                  return std::make_unique<InSortAggregate>(
+                      parts[0], group_prefix, aggregates, wc, temp,
+                      sort_config);
+                },
+                rp, &am),
+            am);
+        result.pnode = am.node;
         plan->RecordAlgBeforeLast(d.alg, agg_worker_est);
       } else {
         plan->RecordAlg(d.alg, result.est);
+        const Meter m = NewMeter(plan, ctrs);
         switch (d.alg) {
           case PhysicalAlg::kInStreamAggregate: {
             InStreamAggregate::Options agg_options;
             agg_options.use_ovc_boundaries = child.prop.has_ovc;
             result.op = plan->Own(std::make_unique<InStreamAggregate>(
-                child.op, node->group_prefix, node->aggregates, ctrs,
+                child.op, node->group_prefix, node->aggregates, m.ctrs,
                 agg_options));
             break;
           }
           case PhysicalAlg::kInSortAggregate:
             result.op = plan->Own(std::make_unique<InSortAggregate>(
-                child.op, node->group_prefix, node->aggregates, ctrs,
+                child.op, node->group_prefix, node->aggregates, m.ctrs,
                 temp_, options_.sort_config));
             break;
           case PhysicalAlg::kHashAggregate:
             result.op = plan->Own(std::make_unique<HashAggregate>(
                 child.op, node->group_prefix, node->aggregates,
-                options_.hash_memory_rows, ctrs, temp_,
+                options_.hash_memory_rows, m.ctrs, temp_,
                 options_.hash_partitions));
             break;
           default:
             OVC_CHECK(false);
         }
+        result.op = Wrap(plan, result.op, m);
+        SetProfileLine(plan, m, d.alg,
+                       "group=" + std::to_string(node->group_prefix), d.out,
+                       result.est, {child.pnode});
+        result.pnode = m.node;
       }
       result.prop = d.out;
       if (parallel_agg) {
@@ -980,6 +1147,7 @@ Planner::Built Planner::BuildNode(LogicalNode* node, PhysicalPlan* plan,
       }
       result.est = {out_rows, child.est.cost + alg_cost};
       plan->RecordAlg(d.alg, result.est);
+      const Meter m = NewMeter(plan, ctrs);
       switch (d.alg) {
         case PhysicalAlg::kDedup:
           result.op = plan->Own(std::make_unique<DedupOperator>(child.op));
@@ -987,21 +1155,25 @@ Planner::Built Planner::BuildNode(LogicalNode* node, PhysicalPlan* plan,
         case PhysicalAlg::kInSortDistinct:
           result.op = plan->Own(std::make_unique<InSortAggregate>(
               child.op, node->schema.key_arity(),
-              std::vector<AggregateSpec>(), ctrs, temp_,
+              std::vector<AggregateSpec>(), m.ctrs, temp_,
               options_.sort_config));
           break;
         case PhysicalAlg::kHashDistinct:
           result.op = plan->Own(std::make_unique<HashAggregate>(
               child.op, node->schema.key_arity(),
               std::vector<AggregateSpec>(), options_.hash_memory_rows,
-              ctrs, temp_, options_.hash_partitions));
+              m.ctrs, temp_, options_.hash_partitions));
           break;
         default:
           OVC_CHECK(false);
       }
+      result.op = Wrap(plan, result.op, m);
       result.prop = d.out;
       explain = ExplainLine(d.alg, result.prop, "", result.est) +
                 IndentBlock(child.explain);
+      SetProfileLine(plan, m, d.alg, "", result.prop, result.est,
+                     {child.pnode});
+      result.pnode = m.node;
       break;
     }
 
@@ -1020,14 +1192,22 @@ Planner::Built Planner::BuildNode(LogicalNode* node, PhysicalPlan* plan,
                     left.est.cost + right.est.cost +
                         model.SetOperation(left.est.rows, right.est.rows,
                                            out_rows)};
-      result.op = plan->Own(std::make_unique<SetOperation>(
-          left.op, right.op, node->set_op, node->set_all, ctrs));
+      const Meter m = NewMeter(plan, ctrs);
+      result.op = Wrap(plan,
+                       plan->Own(std::make_unique<SetOperation>(
+                           left.op, right.op, node->set_op, node->set_all,
+                           m.ctrs)),
+                       m);
       result.prop =
           OrderProperty::Sorted(node->schema.key_arity(), /*ovc=*/true);
       plan->RecordAlg(PhysicalAlg::kSetOperation, result.est);
       explain = ExplainLine(PhysicalAlg::kSetOperation, result.prop,
                             node->set_all ? "all" : "distinct", result.est) +
                 IndentBlock(left.explain) + IndentBlock(right.explain);
+      SetProfileLine(plan, m, PhysicalAlg::kSetOperation,
+                     node->set_all ? "all" : "distinct", result.prop,
+                     result.est, {left.pnode, right.pnode});
+      result.pnode = m.node;
       break;
     }
 
@@ -1064,6 +1244,13 @@ Planner::Built Planner::BuildNode(LogicalNode* node, PhysicalPlan* plan,
         result.op = child.op;  // the logical sort vanishes entirely
         ++plan->elided_sorts_;
         plan->RecordAlg(d.alg, result.est);
+        // An elided sort is a plan line without an operator: its profile
+        // node gets no stats slice, and reports its child's actuals.
+        if (QueryProfile* profile = plan->profile()) {
+          result.pnode = profile->AddNode();
+          profile->SetLine(result.pnode, ProfileLabel(d.alg, d.out, ""),
+                           result.est.rows, result.est.cost, {child.pnode});
+        }
       } else if (parallel_sort) {
         sort_split.cost +=
             model.SplitExchange(child.est.rows, /*hash_policy=*/false);
@@ -1073,20 +1260,38 @@ Planner::Built Planner::BuildNode(LogicalNode* node, PhysicalPlan* plan,
             model.MergeExchange(out_rows, options_.parallelism);
         TempFileManager* temp = temp_;
         const SortConfig& sort_config = options_.sort_config;
-        result.op = BuildExchangeRegion(
-            {child.op}, {region_ctrs}, {sort_split}, result.est,
-            SplitExchange::Policy::kRoundRobin, 0, ctrs, plan,
-            [temp, &sort_config](const std::vector<Operator*>& parts,
-                                 QueryCounters* wc) {
-              return std::make_unique<SortOperator>(parts[0], wc, temp,
-                                                    sort_config);
-            });
+        RegionProfile rp;
+        rp.child_pnodes = {child.pnode};
+        rp.worker_alg = d.alg;
+        rp.worker_detail = "per worker";
+        rp.worker_prop = d.out;
+        rp.worker_est = sort_worker_est;
+        rp.part_prop = child.prop;
+        Meter sm;
+        result.op = Wrap(
+            plan,
+            BuildExchangeRegion(
+                {child.op}, {region_ctrs}, {sort_split}, result.est,
+                SplitExchange::Policy::kRoundRobin, 0, ctrs, plan,
+                [temp, &sort_config](const std::vector<Operator*>& parts,
+                                     QueryCounters* wc) {
+                  return std::make_unique<SortOperator>(parts[0], wc, temp,
+                                                        sort_config);
+                },
+                rp, &sm),
+            sm);
+        result.pnode = sm.node;
         plan->RecordAlgBeforeLast(d.alg, sort_worker_est);
         ++plan->explicit_sorts_;
       } else {
         plan->RecordAlg(d.alg, result.est);
-        result.op = plan->Own(std::make_unique<SortOperator>(
-            child.op, ctrs, temp_, options_.sort_config));
+        const Meter m = NewMeter(plan, ctrs);
+        result.op = Wrap(plan,
+                         plan->Own(std::make_unique<SortOperator>(
+                             child.op, m.ctrs, temp_, options_.sort_config)),
+                         m);
+        SetProfileLine(plan, m, d.alg, "", d.out, result.est, {child.pnode});
+        result.pnode = m.node;
         ++plan->explicit_sorts_;
       }
       result.prop = d.out;
@@ -1112,14 +1317,20 @@ Planner::Built Planner::BuildNode(LogicalNode* node, PhysicalPlan* plan,
                            depth + 1, ctrs);
         input = child.op;
       }
-      result.op =
-          plan->Own(std::make_unique<LimitOperator>(input, node->limit));
+      const Meter m = NewMeter(plan, ctrs);
+      result.op = Wrap(
+          plan, plan->Own(std::make_unique<LimitOperator>(input, node->limit)),
+          m);
       result.prop = d.out;
       result.est = {out_rows, child.est.cost + model.Limit(out_rows)};
       plan->RecordAlg(PhysicalAlg::kLimit, result.est);
       explain = ExplainLine(PhysicalAlg::kLimit, result.prop,
                             "k=" + std::to_string(node->limit), result.est) +
                 IndentBlock(child.explain);
+      SetProfileLine(plan, m, PhysicalAlg::kLimit,
+                     "k=" + std::to_string(node->limit), result.prop,
+                     result.est, {child.pnode});
+      result.pnode = m.node;
       break;
     }
 
@@ -1127,14 +1338,21 @@ Planner::Built Planner::BuildNode(LogicalNode* node, PhysicalPlan* plan,
       // A bare limit (no order requested): truncate the child's stream in
       // whatever order it arrives, passing order and codes through.
       Built child = BuildNode(node->children[0].get(), plan, depth + 1, ctrs);
-      result.op =
-          plan->Own(std::make_unique<LimitOperator>(child.op, node->limit));
+      const Meter m = NewMeter(plan, ctrs);
+      result.op = Wrap(plan,
+                       plan->Own(std::make_unique<LimitOperator>(
+                           child.op, node->limit)),
+                       m);
       result.prop = child.prop;
       result.est = {out_rows, child.est.cost + model.Limit(out_rows)};
       plan->RecordAlg(PhysicalAlg::kLimit, result.est);
       explain = ExplainLine(PhysicalAlg::kLimit, result.prop,
                             "k=" + std::to_string(node->limit), result.est) +
                 IndentBlock(child.explain);
+      SetProfileLine(plan, m, PhysicalAlg::kLimit,
+                     "k=" + std::to_string(node->limit), result.prop,
+                     result.est, {child.pnode});
+      result.pnode = m.node;
       break;
     }
   }

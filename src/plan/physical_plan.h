@@ -58,6 +58,7 @@
 #include <vector>
 
 #include "common/counters.h"
+#include "common/profile.h"
 #include "common/temp_file.h"
 #include "exec/exchange.h"
 #include "exec/operator.h"
@@ -142,6 +143,13 @@ struct PlannerOptions {
   /// reproduce codes for downstream operators); with `use_ovc` false the
   /// planner falls back to serial shapes.
   MergeExchange::Options exchange;
+  /// True builds the plan with a QueryProfile: every operator is wrapped in
+  /// a ProfiledOperator and constructed against its own per-node (and,
+  /// inside exchange regions, per-thread) QueryCounters slice, so rows,
+  /// wall time, and comparison/spill work are attributed per plan line.
+  /// Off by default -- EXPLAIN ANALYZE, `ovcsql --profile=FILE`, and the
+  /// profile tests turn it on; the un-profiled hot path stays untouched.
+  bool profile = false;
 };
 
 /// An executable physical plan: owns its operator tree.
@@ -212,6 +220,18 @@ class PhysicalPlan {
   /// Multi-line indented rendering with per-node order properties.
   std::string ToString() const { return explain_; }
 
+  /// The per-node runtime profile, or null when the plan was built without
+  /// PlannerOptions::profile. Filled in by PlanExecutor::Run (actuals are
+  /// zero before the first run).
+  QueryProfile* profile() const { return profile_.get(); }
+
+  /// EXPLAIN ANALYZE rendering: the profiled plan tree with estimates,
+  /// actuals, per-node timings/counters, and worst-Q-error flags. Falls
+  /// back to the plain EXPLAIN text for un-profiled plans.
+  std::string ExplainAnalyze() const {
+    return profile_ ? profile_->Render() : explain_;
+  }
+
  private:
   friend class Planner;
 
@@ -248,9 +268,10 @@ class PhysicalPlan {
 
   // Member declaration order is destruction order in reverse: the
   // destructor empties `operators_` first (itself back to front, see
-  // ~PhysicalPlan), then the split exchanges, then the counters -- so any
-  // producer threads joined during operator destruction can still touch
-  // partition streams and worker counters.
+  // ~PhysicalPlan), then the split exchanges, then the counters and the
+  // profile -- so any producer threads joined during operator destruction
+  // can still touch partition streams, worker counters, and profile slices.
+  std::unique_ptr<QueryProfile> profile_;
   std::vector<std::unique_ptr<QueryCounters>> worker_counters_;
   /// Splitting exchanges are not Operators (they fan out into partition
   /// streams), so the plan owns them separately.
@@ -290,7 +311,33 @@ class Planner {
     NodeEstimate est;
     /// Relative-indentation explain block for this subtree.
     std::string explain;
+    /// QueryProfile node index of this subtree's root (-1 when the plan is
+    /// not profiled).
+    int pnode = -1;
   };
+
+  /// Profile wiring for one physical plan node: the profile node index,
+  /// the stats slice metering the node's operator, and the counters the
+  /// node's operator constructors should charge -- the slice's own
+  /// counters when profiling, the caller's fallback instance otherwise.
+  struct Meter {
+    int node = -1;
+    OperatorStats* slice = nullptr;
+    QueryCounters* ctrs = nullptr;
+  };
+  /// Allocates one profile node with one stats slice when the plan is
+  /// profiled; otherwise a pass-through meter charging `fallback`.
+  Meter NewMeter(PhysicalPlan* plan, QueryCounters* fallback);
+  /// Wraps `op` in a ProfiledOperator writing `m`'s slice (identity when
+  /// the plan is not profiled).
+  Operator* Wrap(PhysicalPlan* plan, Operator* op, const Meter& m);
+  /// Fills in profile node `m.node`'s explain label, estimate, children,
+  /// and (for scans) feedback table. No-op when not profiled.
+  void SetProfileLine(PhysicalPlan* plan, const Meter& m, PhysicalAlg alg,
+                      const std::string& detail, const OrderProperty& prop,
+                      const NodeEstimate& est,
+                      const std::vector<int>& children,
+                      const std::string& table = std::string());
 
   /// `ctrs` is the counters instance for operators this subtree constructs
   /// -- the session counters at the root, a region-owned instance inside a
@@ -324,6 +371,24 @@ class Planner {
   /// splitting exchange's own cost (recorded on that split's plan node);
   /// `region_est` is the whole region's output estimate, recorded on the
   /// merging exchange.
+  ///
+  /// Under profiling the region contributes three tiers of profile nodes
+  /// (split lines, one worker line, the merge line) described by `rp`, and
+  /// hands the merge line's meter back through `merge_meter`: the caller
+  /// wraps the returned exchange (after any normalizing projection) with
+  /// it, so the merge's consumer-side pull time and output rows land on
+  /// the merge node.
+  struct RegionProfile {
+    /// Profile node of each child subtree (Built::pnode).
+    std::vector<int> child_pnodes;
+    /// Explain-line ingredients for the per-worker operator.
+    PhysicalAlg worker_alg = PhysicalAlg::kSort;
+    std::string worker_detail;
+    OrderProperty worker_prop;
+    NodeEstimate worker_est;
+    /// Per-partition property the splits preserve (the filter theorem).
+    OrderProperty part_prop;
+  };
   Operator* BuildExchangeRegion(
       const std::vector<Operator*>& children,
       const std::vector<QueryCounters*>& child_counters,
@@ -333,7 +398,8 @@ class Planner {
       PhysicalPlan* plan,
       const std::function<std::unique_ptr<Operator>(
           const std::vector<Operator*>& parts, QueryCounters* wc)>&
-          make_worker);
+          make_worker,
+      const RegionProfile& rp, Meter* merge_meter);
 
   QueryCounters* counters_;
   TempFileManager* temp_;

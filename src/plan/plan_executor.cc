@@ -11,7 +11,12 @@ PlanExecutor::PlanExecutor(QueryCounters* counters, TempFileManager* temp,
     : counters_(counters), temp_(temp), options_(std::move(options)) {}
 
 PhysicalPlan PlanExecutor::Plan(LogicalNode* root) {
-  Planner planner(counters_, temp_, options_.planner);
+  return Plan(root, options_.planner);
+}
+
+PhysicalPlan PlanExecutor::Plan(LogicalNode* root,
+                                const PlannerOptions& planner_options) {
+  Planner planner(counters_, temp_, planner_options);
   return planner.Plan(root);
 }
 
@@ -37,6 +42,8 @@ ExecutionResult PlanExecutor::Run(PhysicalPlan* plan) {
   // one virtual Next per row, with bulk appends into the result buffer.
   // Validation still observes every row in stream order, so it checks the
   // sorted-with-codes contract across block boundaries too.
+  QueryProfile* profile = plan->profile();
+  const uint64_t wall_start = profile != nullptr ? ProfileTicks() : 0;
   root->Open();
   RowBlock block(root->schema().total_columns(), options_.batch_rows);
   uint32_t n;
@@ -54,6 +61,23 @@ ExecutionResult PlanExecutor::Run(PhysicalPlan* plan) {
   // counters now that every producer thread has joined, so comparison
   // accounting is exact and repeated runs do not double-count.
   plan->RollUpWorkerCounters(counters_);
+  if (profile != nullptr) {
+    // Same roll-up for the profile's per-operator slices: every producer
+    // thread has joined, so aggregating and folding into the session
+    // counters here is exact.
+    const uint64_t wall_ns = TicksToNs(ProfileTicks() - wall_start);
+    const QueryCounters rolled = profile->FinishRun(counters_, wall_ns);
+    if (options_.validate) {
+      // Self-consistency of the per-operator attribution: summing the
+      // per-node counter totals over the plan tree must reproduce the
+      // query totals this run just rolled up -- a double-counted or
+      // dropped slice breaks the equality. The root's actual row count
+      // must likewise match the materialized result.
+      OVC_CHECK(profile->TreeCounterTotals() == rolled);
+      OVC_CHECK(profile->ActualRows(profile->root()) ==
+                result.rows.size());
+    }
+  }
 
   if (validate) {
     result.validated = true;

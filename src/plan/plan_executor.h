@@ -70,6 +70,10 @@ class PlanExecutor {
   /// Plans `root` and returns the physical plan without running it.
   PhysicalPlan Plan(LogicalNode* root);
 
+  /// Same, with one-off planner options (how EXPLAIN ANALYZE turns on
+  /// PlannerOptions::profile for a single statement).
+  PhysicalPlan Plan(LogicalNode* root, const PlannerOptions& planner_options);
+
   /// Plans and runs `root`; materializes the full output. The logical plan
   /// (and the storage behind its scans) must stay alive for the call.
   ExecutionResult Run(LogicalNode* root);

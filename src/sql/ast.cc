@@ -140,7 +140,9 @@ std::string SelectStmt::ToString() const {
 }
 
 std::string Statement::ToString() const {
-  return (explain ? "EXPLAIN " : "") + select.ToString();
+  std::string prefix;
+  if (explain) prefix = analyze ? "EXPLAIN ANALYZE " : "EXPLAIN ";
+  return prefix + select.ToString();
 }
 
 }  // namespace ovc::sql

@@ -136,9 +136,13 @@ struct SelectStmt {
   std::string ToString() const;
 };
 
-/// A statement: a query, optionally prefixed with EXPLAIN.
+/// A statement: a query, optionally prefixed with EXPLAIN [ANALYZE].
 struct Statement {
   bool explain = false;
+  /// EXPLAIN ANALYZE: execute the query with per-operator profiling and
+  /// render the plan with actuals instead of the result rows. Only
+  /// meaningful when `explain` is set.
+  bool analyze = false;
   SelectStmt select;
 
   /// Canonical SQL rendering; parsing it again yields an equal AST (the

@@ -139,6 +139,14 @@ const CatalogTable* Catalog::Find(const std::string& name) const {
   return nullptr;
 }
 
+CatalogTable* Catalog::FindMutable(const std::string& name) {
+  const std::string lower = Lower(name);
+  for (const auto& table : tables_) {
+    if (table->source.name == lower) return table.get();
+  }
+  return nullptr;
+}
+
 std::vector<std::string> Catalog::TableNames() const {
   std::vector<std::string> names;
   names.reserve(tables_.size());

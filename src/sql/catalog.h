@@ -78,6 +78,10 @@ class Catalog {
   /// Looks up a table by (case-insensitive) name; nullptr when absent.
   const CatalogTable* Find(const std::string& name) const;
 
+  /// Mutable lookup, for runtime-feedback writers (profiled runs updating
+  /// TableStats::observed_rows through SqlSession::ApplyFeedbackTo).
+  CatalogTable* FindMutable(const std::string& name);
+
   /// Registered table names, in registration order.
   std::vector<std::string> TableNames() const;
 

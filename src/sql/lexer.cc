@@ -14,9 +14,10 @@ const std::array<const char*, 21> kKeywords = {
     "UNION",
 };
 
-// UNION's companions; listed separately only to keep the array lines tidy.
-const std::array<const char*, 3> kMoreKeywords = {"INTERSECT", "EXCEPT",
-                                                  "ALL"};
+// UNION's companions (and EXPLAIN's); listed separately only to keep the
+// array lines tidy.
+const std::array<const char*, 4> kMoreKeywords = {"INTERSECT", "EXCEPT",
+                                                  "ALL", "ANALYZE"};
 
 bool IsKeywordWord(const std::string& upper) {
   for (const char* kw : kKeywords) {

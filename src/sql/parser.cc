@@ -15,6 +15,7 @@ class Parser {
 
   bool ParseStatement(Statement* out) {
     out->explain = AcceptKeyword("EXPLAIN");
+    if (out->explain) out->analyze = AcceptKeyword("ANALYZE");
     if (!ParseSelectStmt(&out->select)) return false;
     Accept(TokenType::kSemicolon);
     return true;

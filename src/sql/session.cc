@@ -19,11 +19,16 @@ SqlResult<std::unique_ptr<PreparedQuery>> SqlSession::Prepare(
   if (!bound.ok()) return bound.error();
 
   auto prepared = std::make_unique<PreparedQuery>();
-  prepared->is_explain = stmt.value().explain;
+  prepared->is_explain = stmt.value().explain && !stmt.value().analyze;
+  prepared->is_analyze = stmt.value().explain && stmt.value().analyze;
   prepared->bound = std::move(bound).value();
   prepared->columns = prepared->bound.columns;
+  // EXPLAIN ANALYZE plans with profiling regardless of the session default;
+  // everything else inherits the session's planner options unchanged.
+  plan::PlannerOptions planner_options = executor_.options().planner;
+  if (prepared->is_analyze) planner_options.profile = true;
   prepared->physical = std::make_unique<plan::PhysicalPlan>(
-      executor_.Plan(prepared->bound.plan.get()));
+      executor_.Plan(prepared->bound.plan.get(), planner_options));
   return prepared;
 }
 
@@ -48,7 +53,38 @@ QueryResult SqlSession::Run(PreparedQuery* prepared) {
     return out;
   }
   out.result = executor_.Run(prepared->physical.get());
+  if (const QueryProfile* profile = prepared->physical->profile()) {
+    out.profile_json = profile->ToJson();
+    RecordFeedback(*prepared->physical);
+    if (prepared->is_analyze) {
+      // EXPLAIN ANALYZE delivers the annotated plan, not the rows.
+      out.is_explain = true;
+      out.explain_text = prepared->physical->ExplainAnalyze();
+      out.result = plan::ExecutionResult();
+    }
+  }
   return out;
+}
+
+void SqlSession::RecordFeedback(const plan::PhysicalPlan& physical) {
+  const QueryProfile* profile = physical.profile();
+  if (profile == nullptr) return;
+  for (const QueryProfile::CardFeedback& fb : profile->ScanFeedback()) {
+    TableFeedback& entry = feedback_[fb.table];
+    entry.est_rows = fb.est_rows;
+    entry.actual_rows = fb.actual_rows;
+    entry.q_error = fb.q_error;
+    ++entry.runs;
+  }
+}
+
+void SqlSession::ApplyFeedbackTo(Catalog* catalog) const {
+  for (const auto& [table, fb] : feedback_) {
+    CatalogTable* entry = catalog->FindMutable(table);
+    if (entry == nullptr) continue;
+    entry->source.stats.observed_rows = fb.actual_rows;
+    entry->source.stats.feedback_runs += fb.runs;
+  }
 }
 
 }  // namespace ovc::sql

@@ -15,6 +15,7 @@
 #ifndef OVC_SQL_SESSION_H_
 #define OVC_SQL_SESSION_H_
 
+#include <map>
 #include <memory>
 #include <string>
 #include <string_view>
@@ -36,6 +37,10 @@ struct PreparedQuery {
   /// True when the statement was EXPLAIN: Run returns the plan text
   /// instead of executing.
   bool is_explain = false;
+  /// True when the statement was EXPLAIN ANALYZE: Run executes the query
+  /// with per-operator profiling and returns the annotated plan text (plus
+  /// the JSON profile) instead of the result rows.
+  bool is_analyze = false;
   /// Output column names, in select-list order.
   std::vector<std::string> columns;
   /// The bound logical plan (owns predicates the physical plan shares).
@@ -52,8 +57,12 @@ struct QueryResult {
   std::vector<std::string> columns;
   plan::ExecutionResult result;
   bool is_explain = false;
-  /// Set for EXPLAIN statements (result is empty then).
+  /// Set for EXPLAIN statements (result is empty then). For EXPLAIN
+  /// ANALYZE this is the executed plan annotated with actuals.
   std::string explain_text;
+  /// JSON query profile; set whenever the run was profiled (EXPLAIN
+  /// ANALYZE, or a session with Options::planner.profile set).
+  std::string profile_json;
 };
 
 class SqlSession {
@@ -81,11 +90,32 @@ class SqlSession {
   const Catalog* catalog() const { return catalog_; }
   const Options& options() const { return executor_.options(); }
 
+  /// Latest estimate-versus-actual cardinality observation per scanned
+  /// table, accumulated from every profiled run in this session.
+  struct TableFeedback {
+    double est_rows = 0;
+    double actual_rows = 0;
+    double q_error = 1;
+    uint64_t runs = 0;
+  };
+  const std::map<std::string, TableFeedback>& table_feedback() const {
+    return feedback_;
+  }
+
+  /// Writes the session's feedback into `catalog`'s TableStats
+  /// (observed_rows / feedback_runs) so later planning sessions can see
+  /// runtime cardinalities. The catalog must contain the scanned tables.
+  void ApplyFeedbackTo(Catalog* catalog) const;
+
  private:
+  /// Folds one profiled run's per-scan observations into feedback_.
+  void RecordFeedback(const plan::PhysicalPlan& physical);
+
   const Catalog* catalog_;
   QueryCounters counters_;
   TempFileManager temp_;
   plan::PlanExecutor executor_;
+  std::map<std::string, TableFeedback> feedback_;
 };
 
 }  // namespace ovc::sql

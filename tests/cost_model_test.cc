@@ -5,6 +5,8 @@
 // (column/code comparisons, hash computations, spilled bytes) with the
 // same calibrated constants the estimator used.
 
+#include <cstdio>
+#include <functional>
 #include <memory>
 #include <string>
 
@@ -367,6 +369,77 @@ TEST_F(CostModelTest, SortedInputKeepsInStreamAggregate) {
       model.InStreamAggregate(10000.0, 8.0, 1, /*input_coded=*/true);
   const double hash = model.HashAggregate(10000.0, 8.0, 2);
   EXPECT_LT(in_stream, hash);
+}
+
+// ---------------------------------------------------------------------------
+// Estimate-versus-actual: per-node Q-errors from profiled scenario runs
+// ---------------------------------------------------------------------------
+
+TEST_F(CostModelTest, ProfiledScenariosRecordPerNodeQErrors) {
+  // Re-runs the cost-model scenario shapes with per-operator profiling on
+  // and records each node's Q-error (max(actual/est, est/actual)) into the
+  // test log -- the estimator's per-node report card. Exact-stats scans
+  // must estimate perfectly; derived nodes are sanity-bounded, not pinned,
+  // since their estimates use generic selectivity/distinct models.
+  struct Scenario {
+    const char* name;
+    std::function<std::unique_ptr<LogicalNode>()> build;
+  };
+
+  Schema agg_schema(1, 1);
+  RowBuffer agg_table = testing::MakeTable(agg_schema, 30000, 4, /*seed=*/11);
+  Schema join_schema(1, 1);
+  RowBuffer left = testing::MakeTable(join_schema, 20000, 20000, /*seed=*/13);
+  RowBuffer right = testing::MakeTable(join_schema, 20000, 20000, /*seed=*/14);
+
+  const Scenario scenarios[] = {
+      {"resident-aggregation",
+       [&] {
+         return PlanBuilder::Scan(StatsSource("dup", &agg_schema, &agg_table,
+                                              4.0))
+             .Aggregate(1, {{AggFn::kSum, 1}})
+             .Build();
+       }},
+      {"in-memory-join",
+       [&] {
+         return PlanBuilder::Scan(StatsSource("l", &join_schema, &left,
+                                              20000.0))
+             .Join(PlanBuilder::Scan(
+                       StatsSource("r", &join_schema, &right, 20000.0)),
+                   JoinType::kInner)
+             .Build();
+       }},
+  };
+
+  plan::PlanExecutor::Options exec_options;
+  exec_options.validate = false;  // keep the measured runs fast in Debug
+  exec_options.planner.profile = true;
+
+  for (const Scenario& scenario : scenarios) {
+    SCOPED_TRACE(scenario.name);
+    QueryCounters counters;
+    plan::PlanExecutor executor(&counters, &temp_, exec_options);
+    auto logical = scenario.build();
+    executor.Run(logical.get());
+
+    const QueryProfile* profile = executor.last_plan()->profile();
+    ASSERT_NE(profile, nullptr);
+    std::printf("[ q-error  ] scenario %s (worst q=%.2f)\n", scenario.name,
+                profile->WorstQError());
+    for (int i = 0; i < static_cast<int>(profile->nodes().size()); ++i) {
+      const QueryProfile::Node& node = profile->nodes()[i];
+      const double q = profile->QError(i);
+      std::printf("[ q-error  ]   %-40s est=%-8.0f actual=%-8llu q=%.2f\n",
+                  node.label.c_str(), node.est_rows,
+                  static_cast<unsigned long long>(profile->ActualRows(i)), q);
+      EXPECT_GE(q, 1.0);
+      // Scans carry exact statistics here, so their estimates are perfect.
+      if (!node.table.empty()) EXPECT_DOUBLE_EQ(q, 1.0);
+      // Derived estimates can err, but the scenario shapes are the ones
+      // the model was built around -- a blow-up past 10x is a regression.
+      EXPECT_LT(q, 10.0) << node.label;
+    }
+  }
 }
 
 // ---------------------------------------------------------------------------

@@ -1,0 +1,547 @@
+// Observability tests: per-operator QueryProfile actuals cross-checked
+// against oracle cardinalities at parallelism 1 and 4 (exact roll-up across
+// exchange worker threads), timing sanity, JSON profile round-trips, the
+// EXPLAIN ANALYZE rendering's stability for a fixed seed, and the
+// estimate-versus-actual feedback loop into TableStats.
+
+#include <cctype>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/profile.h"
+#include "plan/logical_plan.h"
+#include "plan/physical_plan.h"
+#include "plan/plan_executor.h"
+#include "sql/catalog.h"
+#include "sql/session.h"
+#include "tests/test_util.h"
+
+namespace ovc {
+namespace {
+
+using plan::BufferSource;
+using plan::ExecutionResult;
+using plan::LogicalNode;
+using plan::PhysicalPlan;
+using plan::PlanBuilder;
+using plan::PlanExecutor;
+
+// ---------------------------------------------------------------------------
+// A minimal JSON reader -- just enough to round-trip QueryProfile::ToJson
+// (objects, arrays, strings with the escapes the writer emits, numbers).
+// ---------------------------------------------------------------------------
+
+struct JsonValue {
+  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+  Kind kind = Kind::kNull;
+  bool boolean = false;
+  double number = 0;
+  std::string str;
+  std::vector<JsonValue> array;
+  std::map<std::string, JsonValue> object;
+
+  const JsonValue& at(const std::string& key) const {
+    auto it = object.find(key);
+    EXPECT_NE(it, object.end()) << "missing key: " << key;
+    static const JsonValue kNull;
+    return it == object.end() ? kNull : it->second;
+  }
+  bool has(const std::string& key) const { return object.count(key) > 0; }
+};
+
+class JsonReader {
+ public:
+  explicit JsonReader(const std::string& text) : text_(text) {}
+
+  /// Parses the full input; fails the test on any syntax error.
+  JsonValue Parse() {
+    JsonValue v = ParseValue();
+    SkipSpace();
+    EXPECT_EQ(pos_, text_.size()) << "trailing JSON input";
+    return v;
+  }
+
+ private:
+  void SkipSpace() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+    }
+  }
+
+  char Peek() {
+    SkipSpace();
+    EXPECT_LT(pos_, text_.size()) << "unexpected end of JSON";
+    return pos_ < text_.size() ? text_[pos_] : '\0';
+  }
+
+  void Expect(char c) {
+    EXPECT_EQ(Peek(), c) << "at offset " << pos_;
+    ++pos_;
+  }
+
+  JsonValue ParseValue() {
+    const char c = Peek();
+    if (c == '{') return ParseObject();
+    if (c == '[') return ParseArray();
+    if (c == '"') return ParseString();
+    if (c == 't' || c == 'f') return ParseBool();
+    if (c == 'n') return ParseNull();
+    return ParseNumber();
+  }
+
+  JsonValue ParseObject() {
+    JsonValue v;
+    v.kind = JsonValue::Kind::kObject;
+    Expect('{');
+    if (Peek() == '}') {
+      ++pos_;
+      return v;
+    }
+    while (true) {
+      JsonValue key = ParseString();
+      Expect(':');
+      v.object[key.str] = ParseValue();
+      if (Peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      Expect('}');
+      return v;
+    }
+  }
+
+  JsonValue ParseArray() {
+    JsonValue v;
+    v.kind = JsonValue::Kind::kArray;
+    Expect('[');
+    if (Peek() == ']') {
+      ++pos_;
+      return v;
+    }
+    while (true) {
+      v.array.push_back(ParseValue());
+      if (Peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      Expect(']');
+      return v;
+    }
+  }
+
+  JsonValue ParseString() {
+    JsonValue v;
+    v.kind = JsonValue::Kind::kString;
+    Expect('"');
+    while (pos_ < text_.size() && text_[pos_] != '"') {
+      char c = text_[pos_++];
+      if (c == '\\' && pos_ < text_.size()) {
+        const char esc = text_[pos_++];
+        switch (esc) {
+          case 'n':
+            c = '\n';
+            break;
+          case 'u':
+            pos_ += 4;  // the writer only emits \u00XX controls
+            c = '?';
+            break;
+          default:
+            c = esc;  // \" and \\ decode to themselves
+        }
+      }
+      v.str.push_back(c);
+    }
+    Expect('"');
+    return v;
+  }
+
+  JsonValue ParseBool() {
+    JsonValue v;
+    v.kind = JsonValue::Kind::kBool;
+    v.boolean = text_.compare(pos_, 4, "true") == 0;
+    pos_ += v.boolean ? 4 : 5;
+    return v;
+  }
+
+  JsonValue ParseNull() {
+    JsonValue v;
+    pos_ += 4;
+    return v;
+  }
+
+  JsonValue ParseNumber() {
+    JsonValue v;
+    v.kind = JsonValue::Kind::kNumber;
+    const size_t start = pos_;
+    while (pos_ < text_.size() &&
+           (std::isdigit(static_cast<unsigned char>(text_[pos_])) ||
+            text_[pos_] == '-' || text_[pos_] == '+' || text_[pos_] == '.' ||
+            text_[pos_] == 'e' || text_[pos_] == 'E')) {
+      ++pos_;
+    }
+    EXPECT_GT(pos_, start) << "expected a number at offset " << start;
+    v.number = std::stod(text_.substr(start, pos_ - start));
+    return v;
+  }
+
+  const std::string& text_;
+  size_t pos_ = 0;
+};
+
+/// Replaces every millisecond rendering ("12.345ms") with "?ms" -- the same
+/// normalization tools/check_docs.sh applies, so EXPLAIN ANALYZE text is
+/// comparable across runs.
+std::string NormalizeMs(const std::string& text) {
+  std::string out;
+  size_t i = 0;
+  while (i < text.size()) {
+    if (std::isdigit(static_cast<unsigned char>(text[i]))) {
+      size_t j = i;
+      while (j < text.size() &&
+             (std::isdigit(static_cast<unsigned char>(text[j])) ||
+              text[j] == '.')) {
+        ++j;
+      }
+      if (text.compare(j, 2, "ms") == 0) {
+        out += "?ms";
+        i = j + 2;
+        continue;
+      }
+    }
+    out.push_back(text[i++]);
+  }
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// PlanExecutor-level profiles: hand-built join + group-by.
+// ---------------------------------------------------------------------------
+
+class ProfileTest : public ::testing::Test {
+ protected:
+  static constexpr uint64_t kFactRows = 2000;
+  static constexpr uint64_t kDimRows = 400;
+
+  ProfileTest()
+      : fact_schema_(1, 2),
+        dim_schema_(1, 1),
+        fact_(testing::MakeTable(fact_schema_, kFactRows, 50, /*seed=*/21)),
+        dim_(testing::MakeTable(dim_schema_, kDimRows, 50, /*seed=*/22)) {}
+
+  /// fact JOIN dim on the key column, then COUNT per key -- the acceptance
+  /// query shape (join + group-by).
+  std::unique_ptr<LogicalNode> BuildJoinAgg() {
+    return PlanBuilder::Scan(BufferSource("fact", &fact_schema_, &fact_))
+        .Join(PlanBuilder::Scan(BufferSource("dim", &dim_schema_, &dim_)),
+              JoinType::kInner)
+        .Aggregate(1, {{AggFn::kCount, 0}})
+        .Build();
+  }
+
+  PlanExecutor::Options MakeOptions(uint32_t parallelism) {
+    PlanExecutor::Options options;
+    options.validate = true;  // turns on the roll-up self-consistency checks
+    options.planner.profile = true;
+    options.planner.parallelism = parallelism;
+    options.planner.exchange.batch_rows = 128;  // several batches per worker
+    return options;
+  }
+
+  /// Oracle result: the same logical plan, serial and un-profiled.
+  testing::RowVec OracleRows() {
+    QueryCounters counters;
+    PlanExecutor::Options options;
+    options.validate = true;
+    PlanExecutor executor(&counters, &temp_, options);
+    auto logical = BuildJoinAgg();
+    ExecutionResult result = executor.Run(logical.get());
+    EXPECT_TRUE(result.ok()) << result.validation_error;
+    testing::RowVec rows = testing::ToRowVec(result.rows);
+    testing::Canonicalize(&rows);
+    return rows;
+  }
+
+  Schema fact_schema_;
+  Schema dim_schema_;
+  RowBuffer fact_;
+  RowBuffer dim_;
+  TempFileManager temp_;
+};
+
+TEST_F(ProfileTest, ActualRowsMatchOracleCardinalities) {
+  const testing::RowVec oracle = OracleRows();
+  for (uint32_t parallelism : {1u, 4u}) {
+    SCOPED_TRACE("parallelism " + std::to_string(parallelism));
+    QueryCounters counters;
+    PlanExecutor executor(&counters, &temp_, MakeOptions(parallelism));
+    auto logical = BuildJoinAgg();
+    ExecutionResult result = executor.Run(logical.get());
+    ASSERT_TRUE(result.ok()) << result.validation_error;
+
+    testing::RowVec rows = testing::ToRowVec(result.rows);
+    testing::Canonicalize(&rows);
+    EXPECT_EQ(rows, oracle);
+
+    const QueryProfile* profile = executor.last_plan()->profile();
+    ASSERT_NE(profile, nullptr);
+    EXPECT_EQ(profile->runs(), 1u);
+    // Root actuals equal the materialized result -- even at parallelism 4,
+    // where the root's rows pass through the merging exchange.
+    EXPECT_EQ(profile->ActualRows(profile->root()), oracle.size());
+    // Scan actuals equal the full table cardinalities: the split-exchange
+    // partition slices must roll up without losing or double-counting rows.
+    for (int i = 0; i < static_cast<int>(profile->nodes().size()); ++i) {
+      const QueryProfile::Node& node = profile->nodes()[i];
+      if (node.table == "fact") {
+        EXPECT_EQ(profile->ActualRows(i), kFactRows);
+      } else if (node.table == "dim") {
+        EXPECT_EQ(profile->ActualRows(i), kDimRows);
+      }
+    }
+    // With profiling on, *all* operator work is attributed to plan nodes:
+    // the per-node totals must reproduce the session counters exactly.
+    EXPECT_TRUE(profile->TreeCounterTotals() == counters);
+    EXPECT_GT(counters.column_comparisons + counters.code_comparisons, 0u);
+  }
+}
+
+TEST_F(ProfileTest, RepeatedRunsDoNotDoubleCountActuals) {
+  QueryCounters counters;
+  PlanExecutor executor(&counters, &temp_, MakeOptions(1));
+  auto logical = BuildJoinAgg();
+  PhysicalPlan plan = executor.Plan(logical.get(), MakeOptions(1).planner);
+
+  const ExecutionResult first = executor.Run(&plan);
+  const uint64_t rows_first = plan.profile()->ActualRows(plan.profile()->root());
+  const ExecutionResult second = executor.Run(&plan);
+  const uint64_t rows_second =
+      plan.profile()->ActualRows(plan.profile()->root());
+
+  // FinishRun resets the slices: the second run's actuals replace the
+  // first's instead of accumulating.
+  EXPECT_EQ(first.row_count(), second.row_count());
+  EXPECT_EQ(rows_first, first.row_count());
+  EXPECT_EQ(rows_second, second.row_count());
+  EXPECT_EQ(plan.profile()->runs(), 2u);
+}
+
+TEST_F(ProfileTest, TimingsAreInclusiveAndBounded) {
+  QueryCounters counters;
+  PlanExecutor executor(&counters, &temp_, MakeOptions(1));
+  auto logical = BuildJoinAgg();
+  ExecutionResult result = executor.Run(logical.get());
+  ASSERT_TRUE(result.ok()) << result.validation_error;
+
+  const QueryProfile* profile = executor.last_plan()->profile();
+  ASSERT_NE(profile, nullptr);
+  EXPECT_GT(profile->wall_ns(), 0u);
+  // Serial plan: every node's inclusive time is bounded by the run's wall
+  // clock (generous slack for tick-rate conversion rounding), and a parent
+  // never reports less inclusive time than any child -- the parent's timed
+  // window contains the child's. Small inputs keep every wrapper inside
+  // the timing warmup, so times here are exact, not sampled.
+  const uint64_t slack = profile->wall_ns() / 2 + 2'000'000;
+  for (int i = 0; i < static_cast<int>(profile->nodes().size()); ++i) {
+    const QueryProfile::Node& node = profile->nodes()[i];
+    EXPECT_LE(profile->ActualNs(i), profile->wall_ns() + slack);
+    for (int child : node.children) {
+      EXPECT_LE(profile->ActualNs(child), profile->ActualNs(i) + slack)
+          << "child " << child << " of node " << i;
+    }
+  }
+}
+
+TEST_F(ProfileTest, JsonProfileRoundTrips) {
+  for (uint32_t parallelism : {1u, 4u}) {
+    SCOPED_TRACE("parallelism " + std::to_string(parallelism));
+    QueryCounters counters;
+    PlanExecutor executor(&counters, &temp_, MakeOptions(parallelism));
+    auto logical = BuildJoinAgg();
+    ExecutionResult result = executor.Run(logical.get());
+    ASSERT_TRUE(result.ok()) << result.validation_error;
+    const QueryProfile* profile = executor.last_plan()->profile();
+    ASSERT_NE(profile, nullptr);
+
+    JsonValue root = JsonReader(profile->ToJson()).Parse();
+    ASSERT_EQ(root.kind, JsonValue::Kind::kObject);
+    EXPECT_DOUBLE_EQ(root.at("runs").number, 1.0);
+    EXPECT_NEAR(root.at("wall_ms").number,
+                static_cast<double>(profile->wall_ns()) / 1e6, 1e-3);
+    EXPECT_NEAR(root.at("worst_q_error").number, profile->WorstQError(),
+                1e-3);
+
+    // The JSON plan tree mirrors the profile: same labels, actuals, and
+    // counter attribution, node for node.
+    uint64_t json_rows_sum = 0;
+    uint64_t json_col_cmp_sum = 0;
+    int json_nodes = 0;
+    const std::function<void(const JsonValue&)> walk =
+        [&](const JsonValue& node) {
+          ASSERT_EQ(node.kind, JsonValue::Kind::kObject);
+          ++json_nodes;
+          EXPECT_FALSE(node.at("op").str.empty());
+          EXPECT_GE(node.at("q_error").number, 1.0);
+          EXPECT_GE(node.at("time_ms").number, 0.0);
+          json_rows_sum += static_cast<uint64_t>(node.at("actual_rows").number);
+          json_col_cmp_sum += static_cast<uint64_t>(
+              node.at("counters").at("column_comparisons").number);
+          for (const JsonValue& child : node.at("children").array) {
+            walk(child);
+          }
+        };
+    walk(root.at("plan"));
+
+    EXPECT_EQ(json_nodes, static_cast<int>(profile->nodes().size()));
+    EXPECT_EQ(json_col_cmp_sum,
+              profile->TreeCounterTotals().column_comparisons);
+    uint64_t profile_rows_sum = 0;
+    for (int i = 0; i < static_cast<int>(profile->nodes().size()); ++i) {
+      profile_rows_sum += profile->ActualRows(i);
+    }
+    EXPECT_EQ(json_rows_sum, profile_rows_sum);
+
+    // The root JSON node is the plan root.
+    EXPECT_EQ(static_cast<uint64_t>(root.at("plan").at("actual_rows").number),
+              profile->ActualRows(profile->root()));
+  }
+}
+
+// ---------------------------------------------------------------------------
+// SQL-level EXPLAIN ANALYZE and the feedback loop.
+// ---------------------------------------------------------------------------
+
+class SqlProfileTest : public ::testing::Test {
+ protected:
+  void RegisterTables(sql::Catalog* catalog) {
+    sql::Catalog::GeneratedSpec spec;
+    spec.distinct_per_column = 100;
+    spec.seed = 1;
+    ASSERT_TRUE(catalog
+                    ->RegisterGenerated("lineitem",
+                                        {"orderkey", "qty", "price"},
+                                        Schema(1, 2), 2000, spec)
+                    .ok());
+    spec.seed = 2;
+    spec.sorted = true;
+    ASSERT_TRUE(catalog
+                    ->RegisterGenerated("orders", {"orderkey", "custkey"},
+                                        Schema(1, 1), 500, spec)
+                    .ok());
+  }
+
+  sql::SqlSession MakeSession(const sql::Catalog* catalog,
+                              uint32_t parallelism) {
+    plan::PlanExecutor::Options options;
+    options.validate = true;
+    options.abort_on_violation = false;
+    options.planner.parallelism = parallelism;
+    return sql::SqlSession(catalog, options);
+  }
+
+  static constexpr const char* kJoinGroupBy =
+      "EXPLAIN ANALYZE SELECT l.orderkey, COUNT(*) AS n, SUM(l.qty) AS q "
+      "FROM lineitem l JOIN orders o ON l.orderkey = o.orderkey "
+      "GROUP BY l.orderkey ORDER BY l.orderkey";
+};
+
+TEST_F(SqlProfileTest, ExplainAnalyzeRendersActualsOnEveryLine) {
+  for (uint32_t parallelism : {1u, 4u}) {
+    SCOPED_TRACE("parallelism " + std::to_string(parallelism));
+    sql::Catalog catalog;
+    RegisterTables(&catalog);
+    sql::SqlSession session = MakeSession(&catalog, parallelism);
+
+    sql::SqlResult<sql::QueryResult> got = session.Run(kJoinGroupBy);
+    ASSERT_TRUE(got.ok()) << got.error().Render(kJoinGroupBy);
+    const sql::QueryResult& result = got.value();
+
+    // EXPLAIN ANALYZE returns the annotated plan, not rows.
+    EXPECT_TRUE(result.is_explain);
+    EXPECT_EQ(result.result.row_count(), 0u);
+    EXPECT_FALSE(result.profile_json.empty());
+
+    // Every plan line carries rows=est/actual and the counter annotations;
+    // the trailer carries wall time and the worst q-error.
+    ASSERT_FALSE(result.explain_text.empty());
+    size_t lines = 0;
+    size_t start = 0;
+    while (start < result.explain_text.size()) {
+      size_t end = result.explain_text.find('\n', start);
+      if (end == std::string::npos) end = result.explain_text.size();
+      const std::string line = result.explain_text.substr(start, end - start);
+      start = end + 1;
+      if (line.empty()) continue;
+      ++lines;
+      if (line.rfind("--", 0) == 0) {
+        EXPECT_NE(line.find("wall="), std::string::npos) << line;
+        EXPECT_NE(line.find("worst-q-error="), std::string::npos) << line;
+      } else {
+        EXPECT_NE(line.find("rows="), std::string::npos) << line;
+        EXPECT_NE(line.find("/"), std::string::npos) << line;
+        EXPECT_NE(line.find("time="), std::string::npos) << line;
+        EXPECT_NE(line.find("cmp="), std::string::npos) << line;
+        EXPECT_NE(line.find("spill="), std::string::npos) << line;
+      }
+    }
+    EXPECT_GE(lines, 4u) << result.explain_text;
+    if (parallelism == 4) {
+      // The parallel shape is profiled too: exchange operators appear as
+      // plan lines with their own actuals.
+      EXPECT_NE(result.explain_text.find("exchange"), std::string::npos)
+          << result.explain_text;
+    }
+  }
+}
+
+TEST_F(SqlProfileTest, ExplainAnalyzeStableForFixedSeed) {
+  // Two fresh sessions over identically-seeded catalogs must render the
+  // same EXPLAIN ANALYZE text modulo timings -- row counts, counters, and
+  // q-errors are all deterministic for a fixed seed.
+  std::vector<std::string> normalized;
+  for (int attempt = 0; attempt < 2; ++attempt) {
+    sql::Catalog catalog;
+    RegisterTables(&catalog);
+    sql::SqlSession session = MakeSession(&catalog, /*parallelism=*/1);
+    sql::SqlResult<sql::QueryResult> got = session.Run(kJoinGroupBy);
+    ASSERT_TRUE(got.ok()) << got.error().Render(kJoinGroupBy);
+    normalized.push_back(NormalizeMs(got.value().explain_text));
+    EXPECT_NE(normalized.back().find("?ms"), std::string::npos);
+  }
+  EXPECT_EQ(normalized[0], normalized[1]);
+}
+
+TEST_F(SqlProfileTest, FeedbackFlowsIntoTableStats) {
+  sql::Catalog catalog;
+  RegisterTables(&catalog);
+  sql::SqlSession session = MakeSession(&catalog, /*parallelism=*/1);
+
+  sql::SqlResult<sql::QueryResult> got = session.Run(kJoinGroupBy);
+  ASSERT_TRUE(got.ok()) << got.error().Render(kJoinGroupBy);
+
+  // The profiled run recorded per-table estimate-vs-actual observations.
+  const auto& feedback = session.table_feedback();
+  ASSERT_TRUE(feedback.count("lineitem")) << feedback.size();
+  ASSERT_TRUE(feedback.count("orders"));
+  EXPECT_DOUBLE_EQ(feedback.at("lineitem").actual_rows, 2000.0);
+  EXPECT_DOUBLE_EQ(feedback.at("orders").actual_rows, 500.0);
+  EXPECT_GE(feedback.at("lineitem").q_error, 1.0);
+  EXPECT_EQ(feedback.at("lineitem").runs, 1u);
+
+  // ApplyFeedbackTo writes the observations into the catalog's TableStats
+  // for later planning sessions.
+  session.ApplyFeedbackTo(&catalog);
+  const sql::CatalogTable* lineitem = catalog.Find("lineitem");
+  ASSERT_NE(lineitem, nullptr);
+  EXPECT_DOUBLE_EQ(lineitem->source.stats.observed_rows, 2000.0);
+  EXPECT_EQ(lineitem->source.stats.feedback_runs, 1u);
+}
+
+}  // namespace
+}  // namespace ovc

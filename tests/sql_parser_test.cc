@@ -131,6 +131,18 @@ TEST(Parser, CountDistinctAndSetOps) {
   EXPECT_EQ(setop.select.order_by.size(), 1u);
 }
 
+TEST(Parser, ExplainAnalyze) {
+  Statement stmt = MustParse("EXPLAIN ANALYZE SELECT a FROM t");
+  EXPECT_TRUE(stmt.explain);
+  EXPECT_TRUE(stmt.analyze);
+
+  // Plain EXPLAIN does not set analyze; ANALYZE alone is not a keyword
+  // prefix (it binds to EXPLAIN only).
+  Statement plain = MustParse("EXPLAIN SELECT a FROM t");
+  EXPECT_TRUE(plain.explain);
+  EXPECT_FALSE(plain.analyze);
+}
+
 // --- Round trip ------------------------------------------------------------
 
 void CheckRoundTrip(std::string_view sql) {
@@ -153,6 +165,7 @@ TEST(Parser, ToStringRoundTrip) {
   CheckRoundTrip(
       "SELECT a FROM t1 EXCEPT ALL SELECT a FROM t2 ORDER BY a DESC LIMIT 1");
   CheckRoundTrip("SELECT a FROM t WHERE 5 <= a AND a <> 7");
+  CheckRoundTrip("EXPLAIN ANALYZE SELECT a, COUNT(*) AS n FROM t GROUP BY a");
 }
 
 // --- Errors ----------------------------------------------------------------

@@ -55,6 +55,13 @@ def fail(msg):
 
 fence = re.compile(r"^```(\S*)(.*)$")
 
+# EXPLAIN ANALYZE lines carry wall-clock times (time=..ms, wall=..ms)
+# that differ run to run; normalize them on both sides so the docs can
+# embed real analyze output and everything else still matches byte for
+# byte.
+def normalize(line):
+    return re.sub(r"\d[\d.]*ms", "?ms", line)
+
 for path in files:
     with open(path) as f:
         lines = f.read().splitlines()
@@ -88,10 +95,11 @@ for path in files:
             [ovcsql] + args, input=script, capture_output=True, text=True
         )
         got = [
-            line
+            normalize(line)
             for line in proc.stdout.splitlines()
             if not line.startswith("table ")  # .gen confirmations
         ]
+        expected = [normalize(line) for line in expected]
         snippets += 1
         if proc.returncode != 0:
             fail(f"{path}:{lineno}: ovcsql exited {proc.returncode}\n{proc.stdout}{proc.stderr}")

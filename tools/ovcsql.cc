@@ -1,14 +1,18 @@
 // ovcsql: interactive (and scriptable) SQL shell over the OVC engine.
 //
 //   ./build/ovcsql [--parallelism=N] [--prefer-sort] [--memory-rows=N]
-//                  [--hash-memory-rows=N] [--rule-based]
+//                  [--hash-memory-rows=N] [--rule-based] [--profile=FILE]
 //
 // Reads statements from stdin, terminated by ';'. Lines starting with '.'
 // are meta commands (run `.help`). EXPLAIN prints the physical plan the
 // cost-based, order-property-aware planner chose -- elided sorts,
 // merge-vs-hash joins, in-stream/in-sort aggregation, per-node
 // {rows=.. cost=..} estimates, and (with --parallelism) the
-// exchange-parallel shapes. --rule-based pins the pre-cost-model policy
+// exchange-parallel shapes. EXPLAIN ANALYZE executes the statement with
+// per-operator profiling and renders each line with actual rows, wall
+// time, and comparison/spill counters (docs/OBSERVABILITY.md).
+// --profile=FILE appends one JSON query profile per executed profiled
+// statement to FILE. --rule-based pins the pre-cost-model policy
 // planner; --hash-memory-rows shrinks the hash budget to watch the
 // cost-based planner flip join and aggregation strategies. A CI smoke
 // test pipes tools/smoke.sql through this binary and greps the plans, and
@@ -44,9 +48,11 @@ void PrintHelp() {
       "  .counters                  session comparison/spill counters\n"
       "  .quit                      exit\n"
       "statements end with ';'. EXPLAIN SELECT ... prints the physical\n"
-      "plan. Supported: SELECT [DISTINCT] cols|aggs FROM t [INNER JOIN u\n"
-      "ON a=b] [WHERE ...] [GROUP BY ...] [UNION|INTERSECT|EXCEPT [ALL]\n"
-      "...] [ORDER BY ... [DESC]] [LIMIT n]\n");
+      "plan; EXPLAIN ANALYZE SELECT ... executes it and annotates every\n"
+      "plan line with actual rows, time, and counters. Supported: SELECT\n"
+      "[DISTINCT] cols|aggs FROM t [INNER JOIN u ON a=b] [WHERE ...]\n"
+      "[GROUP BY ...] [UNION|INTERSECT|EXCEPT [ALL] ...] [ORDER BY ...\n"
+      "[DESC]] [LIMIT n]\n");
 }
 
 /// .gen orders(orderkey,custkey) rows=1000 keys=1 distinct=100 sorted
@@ -154,13 +160,23 @@ void PrintCounters(const QueryCounters& counters) {
               static_cast<unsigned long long>(counters.rows_spilled));
 }
 
-bool RunStatement(sql::SqlSession* session, const std::string& text) {
+bool RunStatement(sql::SqlSession* session, sql::Catalog* catalog,
+                  const std::string& text, std::FILE* profile_out) {
   sql::SqlResult<sql::QueryResult> result = session->Run(text);
   if (!result.ok()) {
     std::printf("%s\n", result.error().Render(text).c_str());
     return false;
   }
   const sql::QueryResult& q = result.value();
+  if (!q.profile_json.empty()) {
+    if (profile_out != nullptr) {
+      std::fprintf(profile_out, "%s\n", q.profile_json.c_str());
+      std::fflush(profile_out);
+    }
+    // Push the run's estimate-vs-actual scan cardinalities into the
+    // catalog's TableStats so later sessions can consult them.
+    session->ApplyFeedbackTo(catalog);
+  }
   if (q.is_explain) {
     std::printf("%s", q.explain_text.c_str());
     return true;
@@ -187,6 +203,7 @@ bool RunStatement(sql::SqlSession* session, const std::string& text) {
 
 int main(int argc, char** argv) {
   sql::SqlSession::Options options;
+  std::string profile_path;
   for (int i = 1; i < argc; ++i) {
     const char* arg = argv[i];
     if (std::strncmp(arg, "--parallelism=", 14) == 0) {
@@ -202,11 +219,23 @@ int main(int argc, char** argv) {
           std::strtoull(arg + 19, nullptr, 10);
     } else if (std::strcmp(arg, "--rule-based") == 0) {
       options.planner.cost_policy = plan::CostPolicy::kRuleBased;
+    } else if (std::strncmp(arg, "--profile=", 10) == 0) {
+      profile_path = arg + 10;
     } else {
       std::fprintf(stderr,
                    "usage: ovcsql [--parallelism=N] [--prefer-sort] "
                    "[--memory-rows=N] [--hash-memory-rows=N] "
-                   "[--rule-based]\n");
+                   "[--rule-based] [--profile=FILE]\n");
+      return 2;
+    }
+  }
+
+  std::FILE* profile_out = nullptr;
+  if (!profile_path.empty()) {
+    profile_out = std::fopen(profile_path.c_str(), "w");
+    if (profile_out == nullptr) {
+      std::fprintf(stderr, "error: cannot open %s for writing\n",
+                   profile_path.c_str());
       return 2;
     }
   }
@@ -280,8 +309,11 @@ int main(int argc, char** argv) {
       for (char c : statement) {
         if (c != ' ' && c != '\t' && c != '\n' && c != '\r') blank = false;
       }
-      if (!blank && !RunStatement(&session, statement)) failed = true;
+      if (!blank && !RunStatement(&session, &catalog, statement, profile_out)) {
+        failed = true;
+      }
     }
   }
+  if (profile_out != nullptr) std::fclose(profile_out);
   return !interactive && failed ? 1 : 0;
 }

@@ -20,6 +20,13 @@ EXPLAIN SELECT o.orderkey, COUNT(*) AS n, SUM(l.qty) AS total
   FROM orders o INNER JOIN lineitem l ON o.orderkey = l.orderkey
   GROUP BY o.orderkey ORDER BY o.orderkey;
 
+-- EXPLAIN ANALYZE executes the same join + aggregation and annotates
+-- every plan line with rows=est/actual, wall time, and the
+-- comparison/spill counters (CI greps for the est/actual annotations).
+EXPLAIN ANALYZE SELECT o.orderkey, COUNT(*) AS n, SUM(l.qty) AS total
+  FROM orders o INNER JOIN lineitem l ON o.orderkey = l.orderkey
+  GROUP BY o.orderkey ORDER BY o.orderkey;
+
 -- The paper's web-analytics shape: distinct folded into the sort, count
 -- streamed over the coded result.
 SELECT site, COUNT(DISTINCT visitor) AS visitors
