@@ -1,0 +1,78 @@
+// Failpoint-check overhead on a hot per-row path.
+//
+// The fault-injection macro OVC_FAILPOINT(name) guards the error paths of
+// temp-file writes and the hash operators' budget checks. Its cost
+// contract (common/failpoint.h): in builds without failpoints it is the
+// literal constant `false` -- zero instructions -- and in builds with
+// them it is one registry lookup that must stay cheap enough to sit on a
+// per-row budget check. This benchmark prices exactly that, in the style
+// of bench_profile_overhead: a tight per-row loop over paper-shaped data,
+// bare versus with an (unarmed) failpoint consulted every row. In a
+// Release build without OVC_ENABLE_FAILPOINTS the two times must be
+// indistinguishable -- that is the compiled-out-to-zero-cost check.
+//
+// Methodology as everywhere in bench/: single thread, warm inputs, the
+// accumulator fed through DoNotOptimize so the check cannot be hoisted.
+
+#include <benchmark/benchmark.h>
+
+#include "bench_util.h"
+#include "common/failpoint.h"
+#include "row/row_buffer.h"
+#include "row/schema.h"
+
+namespace ovc {
+namespace {
+
+constexpr uint64_t kRows = 1 << 20;
+constexpr uint64_t kDistinct = 1 << 10;
+
+struct Fixture {
+  Schema schema{1, 1};
+  RowBuffer table;
+
+  Fixture() : table(bench::MakeTable(schema, kRows, kDistinct, /*seed=*/1)) {}
+};
+
+Fixture& GetFixture() {
+  static Fixture* fixture = new Fixture();
+  return *fixture;
+}
+
+// The shape of HashAggregate's budget check: one branch per input row
+// that an armed failpoint can force. `Bare` is the branch alone,
+// `Checked` adds the (unarmed) failpoint consultation.
+
+void PerRowBudgetCheck_Bare(benchmark::State& state) {
+  Fixture& f = GetFixture();
+  for (auto _ : state) {
+    uint64_t overflowed = 0;
+    for (uint64_t i = 0; i < f.table.size(); ++i) {
+      const uint64_t* row = f.table.row(i);
+      if (row[0] >= kDistinct) ++overflowed;
+      benchmark::DoNotOptimize(overflowed);
+    }
+  }
+  state.SetItemsProcessed(state.iterations() * kRows);
+}
+
+void PerRowBudgetCheck_Failpoint(benchmark::State& state) {
+  Fixture& f = GetFixture();
+  for (auto _ : state) {
+    uint64_t overflowed = 0;
+    for (uint64_t i = 0; i < f.table.size(); ++i) {
+      const uint64_t* row = f.table.row(i);
+      if (row[0] >= kDistinct || OVC_FAILPOINT("bench.budget_check")) {
+        ++overflowed;
+      }
+      benchmark::DoNotOptimize(overflowed);
+    }
+  }
+  state.SetItemsProcessed(state.iterations() * kRows);
+}
+
+BENCHMARK(PerRowBudgetCheck_Bare)->Unit(benchmark::kMillisecond);
+BENCHMARK(PerRowBudgetCheck_Failpoint)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace ovc

@@ -37,6 +37,14 @@ struct QueryCounters {
   /// Rows that bypassed merge logic because their code marked them as
   /// duplicates of the previous winner (Section 5).
   uint64_t merge_bypass_rows = 0;
+  /// Grace hash joins whose build side overflowed its memory budget and
+  /// degraded to the sort+merge continuation mid-query.
+  uint64_t hash_join_fallbacks = 0;
+  /// Hash aggregations whose group table overflowed and degraded to
+  /// in-sort aggregation mid-query.
+  uint64_t hash_agg_fallbacks = 0;
+  /// Transient temp-file I/O failures recovered by retry-with-backoff.
+  uint64_t io_retries = 0;
 
   /// Adds all counts from `other` into this instance.
   void Merge(const QueryCounters& other) {
@@ -47,6 +55,9 @@ struct QueryCounters {
     rows_spilled += other.rows_spilled;
     bytes_spilled += other.bytes_spilled;
     merge_bypass_rows += other.merge_bypass_rows;
+    hash_join_fallbacks += other.hash_join_fallbacks;
+    hash_agg_fallbacks += other.hash_agg_fallbacks;
+    io_retries += other.io_retries;
   }
 
   /// Resets all counts to zero.
@@ -60,7 +71,10 @@ struct QueryCounters {
            " hash=" + std::to_string(hash_computations) +
            " rows_spilled=" + std::to_string(rows_spilled) +
            " bytes_spilled=" + std::to_string(bytes_spilled) +
-           " merge_bypass=" + std::to_string(merge_bypass_rows);
+           " merge_bypass=" + std::to_string(merge_bypass_rows) +
+           " fallbacks=" +
+           std::to_string(hash_join_fallbacks + hash_agg_fallbacks) +
+           " io_retries=" + std::to_string(io_retries);
   }
 
   friend bool operator==(const QueryCounters& a, const QueryCounters& b) {
@@ -70,7 +84,10 @@ struct QueryCounters {
            a.hash_computations == b.hash_computations &&
            a.rows_spilled == b.rows_spilled &&
            a.bytes_spilled == b.bytes_spilled &&
-           a.merge_bypass_rows == b.merge_bypass_rows;
+           a.merge_bypass_rows == b.merge_bypass_rows &&
+           a.hash_join_fallbacks == b.hash_join_fallbacks &&
+           a.hash_agg_fallbacks == b.hash_agg_fallbacks &&
+           a.io_retries == b.io_retries;
   }
   friend bool operator!=(const QueryCounters& a, const QueryCounters& b) {
     return !(a == b);

@@ -1,0 +1,72 @@
+#include "common/failpoint.h"
+
+#if OVC_FAILPOINTS_ENABLED
+
+#include <mutex>
+#include <unordered_map>
+
+namespace ovc {
+namespace failpoint {
+
+namespace {
+
+struct ArmedPoint {
+  uint64_t skip_first = 0;
+  uint64_t fail_times = 0;
+  uint64_t hits = 0;
+};
+
+struct Registry {
+  std::mutex mu;
+  std::unordered_map<std::string, ArmedPoint> points;
+};
+
+Registry& GetRegistry() {
+  static Registry* registry = new Registry();
+  return *registry;
+}
+
+}  // namespace
+
+void Arm(const std::string& name, uint64_t skip_first, uint64_t fail_times) {
+  Registry& r = GetRegistry();
+  std::lock_guard<std::mutex> lock(r.mu);
+  r.points[name] = ArmedPoint{skip_first, fail_times, 0};
+}
+
+void Disarm(const std::string& name) {
+  Registry& r = GetRegistry();
+  std::lock_guard<std::mutex> lock(r.mu);
+  r.points.erase(name);
+}
+
+void DisarmAll() {
+  Registry& r = GetRegistry();
+  std::lock_guard<std::mutex> lock(r.mu);
+  r.points.clear();
+}
+
+uint64_t Hits(const std::string& name) {
+  Registry& r = GetRegistry();
+  std::lock_guard<std::mutex> lock(r.mu);
+  auto it = r.points.find(name);
+  return it == r.points.end() ? 0 : it->second.hits;
+}
+
+bool ShouldFail(const char* name) {
+  Registry& r = GetRegistry();
+  std::lock_guard<std::mutex> lock(r.mu);
+  auto it = r.points.find(name);
+  if (it == r.points.end()) return false;
+  ArmedPoint& p = it->second;
+  const uint64_t hit = p.hits++;
+  if (hit < p.skip_first) return false;
+  // kAlways saturates instead of overflowing skip_first + fail_times.
+  if (p.fail_times == kAlways) return true;
+  return hit - p.skip_first < p.fail_times;
+}
+
+}  // namespace failpoint
+}  // namespace ovc
+
+#endif  // OVC_FAILPOINTS_ENABLED

@@ -206,6 +206,9 @@ void QueryProfile::RenderNode(int node, int depth, double worst_q,
           " cmp=" + std::to_string(c.column_comparisons) + "/" +
           std::to_string(c.code_comparisons) +
           " spill=" + std::to_string(c.rows_spilled) + "}";
+  if (c.hash_join_fallbacks + c.hash_agg_fallbacks > 0) {
+    *out += " !fallback(hash->sort)";
+  }
   const double q = QError(node);
   if (q >= 2.0 && q == worst_q) {
     *out += " !worst-q-error(q=" + FormatQ(q) + ")";
@@ -254,7 +257,10 @@ void QueryProfile::JsonNode(int node, std::string* out) const {
           ",\"rows_spilled\":" + std::to_string(c.rows_spilled) +
           ",\"bytes_spilled\":" + std::to_string(c.bytes_spilled) +
           ",\"merge_bypass_rows\":" + std::to_string(c.merge_bypass_rows) +
-          "}";
+          ",\"hash_join_fallbacks\":" +
+          std::to_string(c.hash_join_fallbacks) +
+          ",\"hash_agg_fallbacks\":" + std::to_string(c.hash_agg_fallbacks) +
+          ",\"io_retries\":" + std::to_string(c.io_retries) + "}";
   *out += ",\"children\":[";
   for (size_t i = 0; i < n.children.size(); ++i) {
     if (i > 0) *out += ",";

@@ -4,15 +4,34 @@
 
 #include <atomic>
 #include <cerrno>
+#include <chrono>
 #include <cstdio>
 #include <cstring>
 #include <filesystem>
+#include <thread>
 
 #include "common/check.h"
+#include "common/failpoint.h"
 
 namespace ovc {
 
 namespace fs = std::filesystem;
+
+namespace {
+
+/// Bounded retry for transient temp-file I/O: spills race other processes
+/// for file descriptors and can be interrupted, so EINTR/EAGAIN (and
+/// injected failpoint failures, which model exactly those) get a few
+/// exponentially backed-off attempts before the error is reported.
+constexpr int kMaxIoRetries = 3;
+
+void BackoffBeforeRetry(int attempt) {
+  std::this_thread::sleep_for(std::chrono::microseconds(100) * (1 << attempt));
+}
+
+bool TransientErrno(int err) { return err == EINTR || err == EAGAIN; }
+
+}  // namespace
 
 TempFileManager::TempFileManager(const std::string& base_dir) {
   fs::path base =
@@ -40,6 +59,22 @@ std::string TempFileManager::NewPath(const std::string& tag) {
          std::to_string(next_id_.fetch_add(1, std::memory_order_relaxed));
 }
 
+void TempFileManager::RecordError(const Status& status) {
+  if (status.ok()) return;
+  std::lock_guard<std::mutex> lock(error_mu_);
+  if (first_error_.ok()) first_error_ = status;
+}
+
+Status TempFileManager::first_error() const {
+  std::lock_guard<std::mutex> lock(error_mu_);
+  return first_error_;
+}
+
+void TempFileManager::ClearError() {
+  std::lock_guard<std::mutex> lock(error_mu_);
+  first_error_ = Status::Ok();
+}
+
 FileWriter::~FileWriter() {
   if (file_ != nullptr) {
     std::fclose(static_cast<FILE*>(file_));
@@ -48,24 +83,47 @@ FileWriter::~FileWriter() {
 
 Status FileWriter::Open(const std::string& path) {
   OVC_CHECK(file_ == nullptr);
-  FILE* f = std::fopen(path.c_str(), "wb");
-  if (f == nullptr) {
-    return Status::IoError("open for write failed: " + path + ": " +
-                           std::strerror(errno));
+  for (int attempt = 0;; ++attempt) {
+    bool injected = OVC_FAILPOINT("tempfile.open");
+    FILE* f = injected ? nullptr : std::fopen(path.c_str(), "wb");
+    if (f != nullptr) {
+      file_ = f;
+      path_ = path;
+      bytes_written_ = 0;
+      return Status::Ok();
+    }
+    const bool transient = injected || TransientErrno(errno);
+    if (!transient || attempt >= kMaxIoRetries) {
+      return Status::IoError("open for write failed: " + path + ": " +
+                             (injected ? "injected failure"
+                                       : std::strerror(errno)));
+    }
+    ++retries_;
+    BackoffBeforeRetry(attempt);
   }
-  file_ = f;
-  path_ = path;
-  bytes_written_ = 0;
-  return Status::Ok();
 }
 
 Status FileWriter::Write(const void* data, size_t len) {
   OVC_DCHECK(file_ != nullptr);
-  if (std::fwrite(data, 1, len, static_cast<FILE*>(file_)) != len) {
-    return Status::IoError("write failed: " + path_);
+  for (int attempt = 0;; ++attempt) {
+    bool injected = OVC_FAILPOINT("tempfile.write");
+    const size_t wrote =
+        injected ? 0 : std::fwrite(data, 1, len, static_cast<FILE*>(file_));
+    if (!injected && wrote == len) {
+      bytes_written_ += len;
+      return Status::Ok();
+    }
+    // Retry only when nothing reached the stream -- re-writing after a
+    // partial fwrite would duplicate bytes in the run file.
+    const bool transient = injected || (wrote == 0 && TransientErrno(errno));
+    if (!transient || attempt >= kMaxIoRetries) {
+      return Status::IoError("write failed: " + path_ +
+                             (injected ? ": injected failure" : ""));
+    }
+    if (!injected) std::clearerr(static_cast<FILE*>(file_));
+    ++retries_;
+    BackoffBeforeRetry(attempt);
   }
-  bytes_written_ += len;
-  return Status::Ok();
 }
 
 Status FileWriter::Close() {

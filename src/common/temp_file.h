@@ -9,6 +9,7 @@
 
 #include <atomic>
 #include <cstdint>
+#include <mutex>
 #include <string>
 
 #include "common/status.h"
@@ -38,9 +39,23 @@ class TempFileManager {
   /// The scratch directory this manager owns.
   const std::string& dir() const { return dir_; }
 
+  /// Deferred-error slot: spill paths deep inside operators (where Next()
+  /// cannot return a Status) record their first non-retryable I/O error
+  /// here and degrade to producing no further output; the plan executor
+  /// checks the slot after the run and surfaces the error to the session
+  /// (a clean SqlError instead of an abort). Keeps only the first error.
+  /// Thread-safe: parallel worker pipelines share one manager.
+  void RecordError(const Status& status);
+  /// The first recorded error since the last ClearError (Ok when none).
+  Status first_error() const;
+  /// Resets the slot (the executor clears it before each run).
+  void ClearError();
+
  private:
   std::string dir_;
   std::atomic<uint64_t> next_id_{0};
+  mutable std::mutex error_mu_;
+  Status first_error_ = Status::Ok();
 };
 
 /// Buffered sequential writer over a temporary file.
@@ -51,9 +66,12 @@ class FileWriter {
   FileWriter(const FileWriter&) = delete;
   FileWriter& operator=(const FileWriter&) = delete;
 
-  /// Opens `path` for writing, truncating any existing file.
+  /// Opens `path` for writing, truncating any existing file. Transient
+  /// failures (EINTR/EAGAIN, or the "tempfile.open" failpoint) are retried
+  /// with exponential backoff before reporting kIoError.
   Status Open(const std::string& path);
-  /// Appends `len` bytes.
+  /// Appends `len` bytes. Transient failures (and the "tempfile.write"
+  /// failpoint) are retried like Open.
   Status Write(const void* data, size_t len);
   /// Appends a little-endian 64-bit value.
   Status WriteU64(uint64_t v) { return Write(&v, sizeof(v)); }
@@ -64,10 +82,14 @@ class FileWriter {
 
   /// Bytes written so far.
   uint64_t bytes_written() const { return bytes_written_; }
+  /// Transient failures recovered by retrying (callers fold this into
+  /// QueryCounters::io_retries).
+  uint64_t retries() const { return retries_; }
 
  private:
   void* file_ = nullptr;  // FILE*
   uint64_t bytes_written_ = 0;
+  uint64_t retries_ = 0;
   std::string path_;
 };
 

@@ -3,10 +3,33 @@
 #include <cstring>
 #include <limits>
 
+#include "common/failpoint.h"
 #include "exec/hash_join.h"  // HashKeyPrefix
 #include "sort/run_file.h"
 
 namespace ovc {
+
+namespace {
+
+/// MergeSource over a finished ExternalSort (the collapser's inner
+/// stream). The sort's RowRef stays valid until the next pull, matching
+/// the MergeSource contract.
+class SortMergeSource final : public MergeSource {
+ public:
+  explicit SortMergeSource(ExternalSort* sort) : sort_(sort) {}
+  bool Next(const uint64_t** row, Ovc* code) override {
+    RowRef ref;
+    if (!sort_->Next(&ref)) return false;
+    *row = ref.cols;
+    *code = ref.ovc;
+    return true;
+  }
+
+ private:
+  ExternalSort* sort_;
+};
+
+}  // namespace
 
 Schema HashAggregate::MakeOutputSchema(const Schema& in, uint32_t group_prefix,
                                        size_t num_aggregates) {
@@ -20,12 +43,15 @@ Schema HashAggregate::MakeOutputSchema(const Schema& in, uint32_t group_prefix,
 HashAggregate::HashAggregate(Operator* child, uint32_t group_prefix,
                              std::vector<AggregateSpec> aggregates,
                              uint64_t memory_groups, QueryCounters* counters,
-                             TempFileManager* temp, uint32_t partitions)
+                             TempFileManager* temp, uint32_t partitions,
+                             FallbackPolicy fallback, SortConfig sort_config)
     : child_(child),
       group_prefix_(group_prefix),
       aggregates_(std::move(aggregates)),
       memory_groups_(memory_groups),
       partitions_(partitions),
+      fallback_(fallback),
+      sort_config_(sort_config),
       output_schema_(
           MakeOutputSchema(child->schema(), group_prefix, aggregates_.size())),
       counters_(counters),
@@ -96,7 +122,8 @@ bool HashAggregate::TryAccumulate(const uint64_t* row) {
       return true;
     }
   }
-  if (group_states_.size() >= memory_groups_) {
+  if (group_states_.size() >= memory_groups_ ||
+      OVC_FAILPOINT("hash_aggregate.force_overflow")) {
     return false;  // table full, group absent
   }
   uint64_t* state = group_states_.AppendRow();
@@ -131,12 +158,86 @@ uint32_t HashAggregate::PartitionOf(const uint64_t* row, uint32_t level) {
   return static_cast<uint32_t>(h % partitions_);
 }
 
+void HashAggregate::BeginSortMergeFallback() {
+  // The group table is full: switch to the sort-based plan mid-query.
+  // Every resident state row and every remaining input row feeds one
+  // external sort on the group key; the pull side collapses duplicates.
+  fell_back_ = true;
+  if (counters_ != nullptr) ++counters_->hash_agg_fallbacks;
+  const Schema& in = child_->schema();
+  std::vector<SortDirection> dirs;
+  for (uint32_t c = 0; c < group_prefix_; ++c) dirs.push_back(in.direction(c));
+  fb_state_schema_ = std::make_unique<Schema>(
+      std::move(dirs), static_cast<uint32_t>(aggregates_.size()));
+  fb_sort_ = std::make_unique<ExternalSort>(fb_state_schema_.get(), counters_,
+                                            temp_, sort_config_);
+  // Resident rows are wider than state rows when there are no aggregates
+  // (the table pads to one accumulator column); Add copies exactly the
+  // state schema's columns, so passing the wider row is safe.
+  for (size_t i = 0; i < group_states_.size(); ++i) {
+    fb_sort_->Add(group_states_.row(i));
+  }
+  group_states_.Clear();
+  table_.clear();
+  fb_state_row_.assign(fb_state_schema_->total_columns(), 0);
+}
+
+void HashAggregate::AddInputRowToFallback(const uint64_t* row) {
+  // Transform the input row into a single-row aggregation state: counts
+  // contribute the constant 1 (merged with kSum downstream, the
+  // group_collapse.h convention), everything else its input column.
+  std::memcpy(fb_state_row_.data(), row, group_prefix_ * sizeof(uint64_t));
+  for (size_t a = 0; a < aggregates_.size(); ++a) {
+    fb_state_row_[group_prefix_ + a] = aggregates_[a].fn == AggFn::kCount
+                                           ? 1
+                                           : row[aggregates_[a].input_col];
+  }
+  fb_sort_->Add(fb_state_row_.data());
+}
+
+void HashAggregate::FinishSortMergeFallback() {
+  Status st = fb_sort_->Finish();
+  if (!st.ok()) {
+    Degrade(st);
+    return;
+  }
+  std::vector<StateMergeFn> fns;
+  fns.reserve(aggregates_.size());
+  for (const AggregateSpec& agg : aggregates_) {
+    switch (agg.fn) {
+      case AggFn::kCount:
+      case AggFn::kSum:
+        fns.push_back(StateMergeFn::kSum);
+        break;
+      case AggFn::kMin:
+        fns.push_back(StateMergeFn::kMin);
+        break;
+      case AggFn::kMax:
+        fns.push_back(StateMergeFn::kMax);
+        break;
+    }
+  }
+  fb_sort_source_ = std::make_unique<SortMergeSource>(fb_sort_.get());
+  fb_collapse_ = std::make_unique<CollapsingSource>(
+      fb_state_schema_.get(), std::move(fns), fb_sort_source_.get());
+}
+
+void HashAggregate::Degrade(const Status& status) {
+  failed_ = true;
+  if (temp_ != nullptr) temp_->RecordError(status);
+}
+
 void HashAggregate::Open() {
   output_queue_.Clear();
   queue_pos_ = 0;
   pending_partitions_.clear();
   group_states_.Clear();
   table_.clear();
+  fell_back_ = false;
+  failed_ = false;
+  fb_collapse_.reset();
+  fb_sort_source_.reset();
+  fb_sort_.reset();
 
   const Schema& in = child_->schema();
   OvcCodec codec(&in);
@@ -145,7 +246,16 @@ void HashAggregate::Open() {
   child_->Open();
   RowRef ref;
   while (child_->Next(&ref)) {
+    if (fell_back_) {
+      AddInputRowToFallback(ref.cols);
+      continue;
+    }
     if (TryAccumulate(ref.cols)) continue;
+    if (fallback_ == FallbackPolicy::kSortMerge) {
+      BeginSortMergeFallback();
+      AddInputRowToFallback(ref.cols);
+      continue;
+    }
     // Spill path: route the row to its hash partition.
     if (writers.empty()) {
       writers.resize(partitions_);
@@ -153,23 +263,40 @@ void HashAggregate::Open() {
       for (uint32_t p = 0; p < partitions_; ++p) {
         writers[p] = std::make_unique<RunFileWriter>(&in, counters_);
         paths[p] = temp_->NewPath("hagg-part");
-        OVC_CHECK_OK(writers[p]->Open(paths[p]));
+        Status st = writers[p]->Open(paths[p]);
+        if (!st.ok()) {
+          child_->Close();
+          Degrade(st);
+          return;
+        }
       }
     }
     const uint32_t p = PartitionOf(ref.cols, /*level=*/0);
-    OVC_CHECK_OK(
-        writers[p]->Append(ref.cols, codec.MakeFromRow(ref.cols, 0)));
+    Status st = writers[p]->Append(ref.cols, codec.MakeFromRow(ref.cols, 0));
+    if (!st.ok()) {
+      child_->Close();
+      Degrade(st);
+      return;
+    }
   }
   child_->Close();
+  if (fell_back_) {
+    FinishSortMergeFallback();
+    return;
+  }
   for (uint32_t p = 0; p < writers.size(); ++p) {
-    OVC_CHECK_OK(writers[p]->Close());
+    Status st = writers[p]->Close();
+    if (!st.ok()) {
+      Degrade(st);
+      return;
+    }
     pending_partitions_.push_back(PendingPartition{paths[p], 1});
   }
   FlushTableToQueue();
 }
 
 bool HashAggregate::ProcessNextPartition() {
-  while (!pending_partitions_.empty()) {
+  while (!pending_partitions_.empty() && !failed_) {
     const PendingPartition pending = pending_partitions_.back();
     pending_partitions_.pop_back();
     // Runaway-recursion guard: with level-salted partitioning, each level
@@ -183,28 +310,33 @@ bool HashAggregate::ProcessNextPartition() {
     std::vector<std::unique_ptr<RunFileWriter>> writers;
     std::vector<std::string> paths;
     RunFileReader reader(&in);
-    OVC_CHECK_OK(reader.Open(pending.path));
+    Status st = reader.Open(pending.path);
     const uint64_t* row = nullptr;
     Ovc code = 0;
-    while (reader.Next(&row, &code)) {
+    while (st.ok() && reader.Next(&row, &code)) {
       if (TryAccumulate(row)) continue;
       // Still too many groups: repartition recursively.
       if (writers.empty()) {
         writers.resize(partitions_);
         paths.resize(partitions_);
-        for (uint32_t p = 0; p < partitions_; ++p) {
+        for (uint32_t p = 0; p < partitions_ && st.ok(); ++p) {
           writers[p] = std::make_unique<RunFileWriter>(&in, counters_);
           paths[p] = temp_->NewPath("hagg-part");
-          OVC_CHECK_OK(writers[p]->Open(paths[p]));
+          st = writers[p]->Open(paths[p]);
         }
+        if (!st.ok()) break;
       }
       const uint32_t p = PartitionOf(row, pending.level);
-      OVC_CHECK_OK(writers[p]->Append(row, codec.MakeFromRow(row, 0)));
+      st = writers[p]->Append(row, codec.MakeFromRow(row, 0));
     }
-    for (uint32_t p = 0; p < writers.size(); ++p) {
-      OVC_CHECK_OK(writers[p]->Close());
+    for (uint32_t p = 0; p < writers.size() && st.ok(); ++p) {
+      st = writers[p]->Close();
       pending_partitions_.push_back(
           PendingPartition{paths[p], pending.level + 1});
+    }
+    if (!st.ok()) {
+      Degrade(st);
+      return false;
     }
     FlushTableToQueue();
     if (output_queue_.size() > 0) return true;
@@ -213,6 +345,17 @@ bool HashAggregate::ProcessNextPartition() {
 }
 
 bool HashAggregate::Next(RowRef* out) {
+  if (failed_) return false;
+  if (fell_back_) {
+    const uint64_t* row = nullptr;
+    Ovc code = 0;
+    if (!fb_collapse_->Next(&row, &code)) return false;
+    // Collapsed state rows ARE output rows (group keys + merged
+    // accumulators) and stay valid until the next pull.
+    out->cols = row;
+    out->ovc = 0;  // this operator's contract: unordered, no codes
+    return true;
+  }
   while (true) {
     if (queue_pos_ < output_queue_.size()) {
       out->cols = output_queue_.row(queue_pos_++);
@@ -227,6 +370,10 @@ void HashAggregate::Close() {
   output_queue_.Clear();
   group_states_.Clear();
   table_.clear();
+  fb_collapse_.reset();
+  fb_sort_source_.reset();
+  fb_sort_.reset();
+  fb_state_schema_.reset();
 }
 
 }  // namespace ovc

@@ -18,22 +18,37 @@
 #include "common/counters.h"
 #include "common/temp_file.h"
 #include "exec/aggregate.h"
+#include "exec/fallback_policy.h"
 #include "exec/operator.h"
 #include "row/row_buffer.h"
+#include "sort/external_sort.h"
+#include "sort/group_collapse.h"
 #include "sort/run_file.h"
 
 namespace ovc {
 
 /// Hash-based grouping and aggregation with a row budget and grace-style
 /// partition spilling. Blocking: consumes its child in Open().
+///
+/// Graceful degradation: with FallbackPolicy::kSortMerge, a group table
+/// that overflows `memory_groups` mid-Open degrades to in-sort aggregation
+/// instead of recursive partitioning: the resident partial-aggregate state
+/// rows plus every remaining input row (transformed to a state row, counts
+/// materialized as 1) feed one ExternalSort on the group key, and a
+/// CollapsingSource merges key-duplicate states on the pull side -- the
+/// Figure 5 sort-based plan, entered mid-query. Counted in
+/// QueryCounters::hash_agg_fallbacks.
 class HashAggregate : public Operator {
  public:
   /// Groups on the first `group_prefix` key columns; aggregates as in
   /// InStreamAggregate. `memory_groups` bounds the resident group count.
+  /// `sort_config` tunes the fallback sort (only read under kSortMerge).
   HashAggregate(Operator* child, uint32_t group_prefix,
                 std::vector<AggregateSpec> aggregates, uint64_t memory_groups,
                 QueryCounters* counters, TempFileManager* temp,
-                uint32_t partitions = 16);
+                uint32_t partitions = 16,
+                FallbackPolicy fallback = FallbackPolicy::kPartition,
+                SortConfig sort_config = SortConfig{});
 
   void Open() override;
   bool Next(RowRef* out) override;
@@ -58,11 +73,23 @@ class HashAggregate : public Operator {
   /// recursive repartitioning actually splits a partition's keys).
   uint32_t PartitionOf(const uint64_t* row, uint32_t level);
 
+  /// kSortMerge overflow path: moves the resident partial-aggregate state
+  /// rows into an ExternalSort over the state schema.
+  void BeginSortMergeFallback();
+  /// Transforms one input row into a state row and adds it to the sort.
+  void AddInputRowToFallback(const uint64_t* row);
+  /// Finishes the sort and stands up the collapsing pull path.
+  void FinishSortMergeFallback();
+  /// Records `status` in the temp manager's error slot and stops output.
+  void Degrade(const Status& status);
+
   Operator* child_;
   uint32_t group_prefix_;
   std::vector<AggregateSpec> aggregates_;
   uint64_t memory_groups_;
   uint32_t partitions_;
+  FallbackPolicy fallback_;
+  SortConfig sort_config_;
   Schema output_schema_;
   QueryCounters* counters_;
   TempFileManager* temp_;
@@ -82,6 +109,17 @@ class HashAggregate : public Operator {
 
   RowBuffer output_queue_;
   size_t queue_pos_ = 0;
+
+  // In-sort continuation (kSortMerge overflow only). State rows are
+  // [group keys][one mergeable accumulator per aggregate]; the collapser
+  // folds key-duplicates (partial counts merge by summation).
+  bool fell_back_ = false;
+  bool failed_ = false;
+  std::unique_ptr<Schema> fb_state_schema_;
+  std::unique_ptr<ExternalSort> fb_sort_;
+  std::unique_ptr<MergeSource> fb_sort_source_;
+  std::unique_ptr<CollapsingSource> fb_collapse_;
+  std::vector<uint64_t> fb_state_row_;
 };
 
 }  // namespace ovc

@@ -2,6 +2,7 @@
 
 #include <cstring>
 
+#include "common/failpoint.h"
 #include "sort/run_file.h"
 
 namespace ovc {
@@ -32,6 +33,35 @@ bool KeysEqual(const uint64_t* a, const uint64_t* b, uint32_t columns,
     if (a[c] != b[c]) return false;
   }
   return true;
+}
+
+/// Operator facade over a finished ExternalSort: a sorted, coded stream
+/// the MergeJoin continuation can pull. The schema reinterprets the
+/// sorted rows with the join key as the full key prefix.
+class SortedSortView final : public Operator {
+ public:
+  SortedSortView(const Schema* schema, ExternalSort* sort)
+      : schema_(schema), sort_(sort) {}
+  void Open() override {}
+  bool Next(RowRef* out) override { return sort_->Next(out); }
+  void Close() override {}
+  const Schema& schema() const override { return *schema_; }
+  bool sorted() const override { return true; }
+  bool has_ovc() const override { return true; }
+
+ private:
+  const Schema* schema_;
+  ExternalSort* sort_;
+};
+
+/// The join-key-prefix reinterpretation of `schema`: the first
+/// `bind_columns` directions of the probe side become the whole sort key,
+/// everything else rides along as payload. Row layout is unchanged.
+Schema BindPrefixSchema(const Schema& probe, uint32_t total_columns,
+                        uint32_t bind_columns) {
+  std::vector<SortDirection> dirs;
+  for (uint32_t c = 0; c < bind_columns; ++c) dirs.push_back(probe.direction(c));
+  return Schema(std::move(dirs), total_columns - bind_columns);
 }
 
 }  // namespace
@@ -194,13 +224,16 @@ Schema GraceHashJoin::MakeOutputSchema() const {
 GraceHashJoin::GraceHashJoin(Operator* probe, Operator* build,
                              uint32_t bind_columns, JoinTypeHash type,
                              uint64_t memory_rows, QueryCounters* counters,
-                             TempFileManager* temp, uint32_t partitions)
+                             TempFileManager* temp, uint32_t partitions,
+                             FallbackPolicy fallback, SortConfig sort_config)
     : probe_(probe),
       build_(build),
       bind_columns_(bind_columns),
       type_(type),
       memory_rows_(memory_rows),
       partitions_(partitions),
+      fallback_(fallback),
+      sort_config_(sort_config),
       output_schema_(MakeOutputSchema()),
       counters_(counters),
       temp_(temp),
@@ -241,49 +274,137 @@ void GraceHashJoin::JoinResident(const RowBuffer& build,
   }
 }
 
+void GraceHashJoin::BeginSortMergeFallback() {
+  // The point of no return for the hash strategy: from here on, every
+  // build row -- resident or still unread -- flows into an external sort
+  // on the join key, and the probe side will follow. One sort per input,
+  // no partition recursion, OVCs preserved end to end.
+  fell_back_ = true;
+  if (counters_ != nullptr) ++counters_->hash_join_fallbacks;
+  const Schema& ps = probe_->schema();
+  fb_probe_schema_ = std::make_unique<Schema>(
+      BindPrefixSchema(ps, ps.total_columns(), bind_columns_));
+  fb_build_schema_ = std::make_unique<Schema>(
+      BindPrefixSchema(ps, build_->schema().total_columns(), bind_columns_));
+  fb_build_sort_ = std::make_unique<ExternalSort>(
+      fb_build_schema_.get(), counters_, temp_, sort_config_);
+  for (size_t i = 0; i < resident_build_.size(); ++i) {
+    fb_build_sort_->Add(resident_build_.row(i));
+  }
+  resident_build_.Clear();
+  table_.clear();
+}
+
+void GraceHashJoin::FinishSortMergeFallback() {
+  Status st = fb_build_sort_->Finish();
+  if (!st.ok()) {
+    probe_->Close();
+    Degrade(st);
+    return;
+  }
+  fb_probe_sort_ = std::make_unique<ExternalSort>(
+      fb_probe_schema_.get(), counters_, temp_, sort_config_);
+  RowRef ref;
+  while (probe_->Next(&ref)) {
+    fb_probe_sort_->Add(ref.cols);
+  }
+  probe_->Close();
+  st = fb_probe_sort_->Finish();
+  if (!st.ok()) {
+    Degrade(st);
+    return;
+  }
+  fb_probe_view_ = std::make_unique<SortedSortView>(fb_probe_schema_.get(),
+                                                    fb_probe_sort_.get());
+  fb_build_view_ = std::make_unique<SortedSortView>(fb_build_schema_.get(),
+                                                    fb_build_sort_.get());
+  fb_join_ = std::make_unique<MergeJoin>(
+      fb_probe_view_.get(), fb_build_view_.get(),
+      type_ == JoinTypeHash::kLeftSemi ? JoinType::kLeftSemi
+                                       : JoinType::kInner,
+      counters_);
+  fb_join_->Open();
+}
+
+void GraceHashJoin::Degrade(const Status& status) {
+  failed_ = true;
+  if (temp_ != nullptr) temp_->RecordError(status);
+}
+
 void GraceHashJoin::Open() {
   output_queue_.Clear();
   queue_pos_ = 0;
   pending_.clear();
   resident_build_.Clear();
   table_.clear();
+  fell_back_ = false;
+  failed_ = false;
+  fb_join_.reset();
+  fb_probe_view_.reset();
+  fb_build_view_.reset();
+  fb_probe_sort_.reset();
+  fb_build_sort_.reset();
 
   // Consume the build side; if it fits, keep it resident, otherwise
-  // partition it to temporary storage.
+  // degrade per the fallback policy (sort+merge continuation, or classic
+  // grace partitioning to temporary storage).
   build_->Open();
   RowRef ref;
   bool build_fits = true;
   std::vector<std::unique_ptr<RunFileWriter>> build_writers;
   std::vector<std::string> build_paths;
   while (build_->Next(&ref)) {
-    if (build_fits && resident_build_.size() >= memory_rows_) {
-      // Overflow: re-partition what is already resident, then continue.
+    if (build_fits &&
+        (resident_build_.size() >= memory_rows_ ||
+         OVC_FAILPOINT("grace_hash_join.force_overflow"))) {
       build_fits = false;
-      build_writers.resize(partitions_);
-      build_paths.resize(partitions_);
-      for (uint32_t p = 0; p < partitions_; ++p) {
-        build_writers[p] =
-            std::make_unique<RunFileWriter>(&build_->schema(), counters_);
-        build_paths[p] = temp_->NewPath("ghj-build");
-        OVC_CHECK_OK(build_writers[p]->Open(build_paths[p]));
+      if (fallback_ == FallbackPolicy::kSortMerge) {
+        BeginSortMergeFallback();
+      } else {
+        // Overflow: re-partition what is already resident, then continue.
+        build_writers.resize(partitions_);
+        build_paths.resize(partitions_);
+        for (uint32_t p = 0; p < partitions_; ++p) {
+          build_writers[p] =
+              std::make_unique<RunFileWriter>(&build_->schema(), counters_);
+          build_paths[p] = temp_->NewPath("ghj-build");
+          Status st = build_writers[p]->Open(build_paths[p]);
+          if (!st.ok()) {
+            build_->Close();
+            Degrade(st);
+            return;
+          }
+        }
+        OvcCodec codec(&build_->schema());
+        for (size_t i = 0; i < resident_build_.size(); ++i) {
+          const uint64_t* row = resident_build_.row(i);
+          const uint32_t p = PartitionOf(row, /*level=*/0);
+          Status st = build_writers[p]->Append(row, codec.MakeFromRow(row, 0));
+          if (!st.ok()) {
+            build_->Close();
+            Degrade(st);
+            return;
+          }
+        }
+        resident_build_.Clear();
       }
-      OvcCodec codec(&build_->schema());
-      for (size_t i = 0; i < resident_build_.size(); ++i) {
-        const uint64_t* row = resident_build_.row(i);
-        const uint32_t p = PartitionOf(row, /*level=*/0);
-        OVC_CHECK_OK(build_writers[p]->Append(row, codec.MakeFromRow(row, 0)));
-      }
-      resident_build_.Clear();
     }
     if (build_fits) {
       table_.emplace(HashKeyPrefix(ref.cols, bind_columns_, counters_),
                      static_cast<uint32_t>(resident_build_.size()));
       resident_build_.AppendRow(ref.cols);
+    } else if (fell_back_) {
+      fb_build_sort_->Add(ref.cols);
     } else {
       OvcCodec codec(&build_->schema());
       const uint32_t p = PartitionOf(ref.cols, /*level=*/0);
-      OVC_CHECK_OK(
-          build_writers[p]->Append(ref.cols, codec.MakeFromRow(ref.cols, 0)));
+      Status st =
+          build_writers[p]->Append(ref.cols, codec.MakeFromRow(ref.cols, 0));
+      if (!st.ok()) {
+        build_->Close();
+        Degrade(st);
+        return;
+      }
     }
   }
   build_->Close();
@@ -299,6 +420,11 @@ void GraceHashJoin::Open() {
     return;
   }
 
+  if (fell_back_) {
+    FinishSortMergeFallback();
+    return;
+  }
+
   // Partition the probe side the same way.
   std::vector<std::unique_ptr<RunFileWriter>> probe_writers(partitions_);
   std::vector<std::string> probe_paths(partitions_);
@@ -306,18 +432,32 @@ void GraceHashJoin::Open() {
     probe_writers[p] =
         std::make_unique<RunFileWriter>(&probe_->schema(), counters_);
     probe_paths[p] = temp_->NewPath("ghj-probe");
-    OVC_CHECK_OK(probe_writers[p]->Open(probe_paths[p]));
+    Status st = probe_writers[p]->Open(probe_paths[p]);
+    if (!st.ok()) {
+      probe_->Close();
+      Degrade(st);
+      return;
+    }
   }
   OvcCodec probe_codec(&probe_->schema());
   while (probe_->Next(&ref)) {
     const uint32_t p = PartitionOf(ref.cols, /*level=*/0);
-    OVC_CHECK_OK(
-        probe_writers[p]->Append(ref.cols, probe_codec.MakeFromRow(ref.cols, 0)));
+    Status st =
+        probe_writers[p]->Append(ref.cols, probe_codec.MakeFromRow(ref.cols, 0));
+    if (!st.ok()) {
+      probe_->Close();
+      Degrade(st);
+      return;
+    }
   }
   probe_->Close();
   for (uint32_t p = 0; p < partitions_; ++p) {
-    OVC_CHECK_OK(build_writers[p]->Close());
-    OVC_CHECK_OK(probe_writers[p]->Close());
+    Status st = build_writers[p]->Close();
+    if (st.ok()) st = probe_writers[p]->Close();
+    if (!st.ok()) {
+      Degrade(st);
+      return;
+    }
     pending_.push_back(PartitionPair{probe_paths[p], build_paths[p], 1});
   }
   resident_build_.Clear();
@@ -333,34 +473,40 @@ void GraceHashJoin::Repartition(const PartitionPair& pair) {
   OvcCodec bcodec(&bs), pcodec(&ps);
   std::vector<PartitionPair> subs(partitions_);
   std::vector<std::unique_ptr<RunFileWriter>> bw(partitions_), pw(partitions_);
-  for (uint32_t p = 0; p < partitions_; ++p) {
+  Status st = Status::Ok();
+  for (uint32_t p = 0; p < partitions_ && st.ok(); ++p) {
     subs[p].level = pair.level + 1;
     subs[p].build_path = temp_->NewPath("ghj-build");
     subs[p].probe_path = temp_->NewPath("ghj-probe");
     bw[p] = std::make_unique<RunFileWriter>(&bs, counters_);
     pw[p] = std::make_unique<RunFileWriter>(&ps, counters_);
-    OVC_CHECK_OK(bw[p]->Open(subs[p].build_path));
-    OVC_CHECK_OK(pw[p]->Open(subs[p].probe_path));
+    st = bw[p]->Open(subs[p].build_path);
+    if (st.ok()) st = pw[p]->Open(subs[p].probe_path);
   }
   const uint64_t* row = nullptr;
   Ovc code = 0;
-  RunFileReader build_reader(&bs);
-  OVC_CHECK_OK(build_reader.Open(pair.build_path));
-  while (build_reader.Next(&row, &code)) {
-    const uint32_t p = PartitionOf(row, pair.level);
-    OVC_CHECK_OK(bw[p]->Append(row, bcodec.MakeFromRow(row, 0)));
+  if (st.ok()) {
+    RunFileReader build_reader(&bs);
+    st = build_reader.Open(pair.build_path);
+    while (st.ok() && build_reader.Next(&row, &code)) {
+      const uint32_t p = PartitionOf(row, pair.level);
+      st = bw[p]->Append(row, bcodec.MakeFromRow(row, 0));
+    }
   }
-  RunFileReader probe_reader(&ps);
-  OVC_CHECK_OK(probe_reader.Open(pair.probe_path));
-  while (probe_reader.Next(&row, &code)) {
-    const uint32_t p = PartitionOf(row, pair.level);
-    OVC_CHECK_OK(pw[p]->Append(row, pcodec.MakeFromRow(row, 0)));
+  if (st.ok()) {
+    RunFileReader probe_reader(&ps);
+    st = probe_reader.Open(pair.probe_path);
+    while (st.ok() && probe_reader.Next(&row, &code)) {
+      const uint32_t p = PartitionOf(row, pair.level);
+      st = pw[p]->Append(row, pcodec.MakeFromRow(row, 0));
+    }
   }
-  for (uint32_t p = 0; p < partitions_; ++p) {
-    OVC_CHECK_OK(bw[p]->Close());
-    OVC_CHECK_OK(pw[p]->Close());
+  for (uint32_t p = 0; p < partitions_ && st.ok(); ++p) {
+    st = bw[p]->Close();
+    if (st.ok()) st = pw[p]->Close();
     pending_.push_back(subs[p]);
   }
+  if (!st.ok()) Degrade(st);
 }
 
 bool GraceHashJoin::ServeQueued(RowRef* out) {
@@ -371,7 +517,7 @@ bool GraceHashJoin::ServeQueued(RowRef* out) {
 }
 
 bool GraceHashJoin::ProcessNextPartition() {
-  while (!pending_.empty()) {
+  while (!pending_.empty() && !failed_) {
     PartitionPair pair = pending_.back();
     pending_.pop_back();
 
@@ -410,7 +556,35 @@ bool GraceHashJoin::ProcessNextPartition() {
   return false;
 }
 
+bool GraceHashJoin::NextFallback(RowRef* out) {
+  RowRef ref;
+  if (!fb_join_->Next(&ref)) return false;
+  const uint32_t ps_total = probe_->schema().total_columns();
+  uint64_t* dst = out_row_.data();
+  if (type_ == JoinTypeHash::kLeftSemi) {
+    // Passthrough on both layouts: columns line up exactly.
+    std::memcpy(dst, ref.cols, ps_total * sizeof(uint64_t));
+  } else {
+    // MergeJoin emits [join key][probe rest][build rest][indicator]; this
+    // operator's inner layout is [probe row][build row][indicator]. The
+    // probe row is the continuation's first ps_total columns verbatim,
+    // and the build row's leading key columns equal the join key (it is
+    // an equi-join), so the remap is three memcpys.
+    const uint32_t bs_total = build_->schema().total_columns();
+    std::memcpy(dst, ref.cols, ps_total * sizeof(uint64_t));
+    std::memcpy(dst + ps_total, ref.cols, bind_columns_ * sizeof(uint64_t));
+    std::memcpy(dst + ps_total + bind_columns_, ref.cols + ps_total,
+                (bs_total - bind_columns_) * sizeof(uint64_t));
+    dst[ps_total + bs_total] = 3;
+  }
+  out->cols = dst;
+  out->ovc = 0;  // this operator's contract: unordered, no codes
+  return true;
+}
+
 bool GraceHashJoin::Next(RowRef* out) {
+  if (failed_) return false;
+  if (fell_back_) return NextFallback(out);
   while (true) {
     if (ServeQueued(out)) return true;
     if (in_memory_) return false;
@@ -422,6 +596,14 @@ void GraceHashJoin::Close() {
   output_queue_.Clear();
   resident_build_.Clear();
   table_.clear();
+  if (fb_join_ != nullptr) fb_join_->Close();
+  fb_join_.reset();
+  fb_probe_view_.reset();
+  fb_build_view_.reset();
+  fb_probe_sort_.reset();
+  fb_build_sort_.reset();
+  fb_probe_schema_.reset();
+  fb_build_schema_.reset();
 }
 
 }  // namespace ovc

@@ -24,8 +24,11 @@
 #include "common/counters.h"
 #include "common/temp_file.h"
 #include "core/accumulator.h"
+#include "exec/fallback_policy.h"
+#include "exec/merge_join.h"
 #include "exec/operator.h"
 #include "row/row_buffer.h"
+#include "sort/external_sort.h"
 
 namespace ovc {
 
@@ -88,13 +91,26 @@ class OrderPreservingHashJoin : public Operator {
 /// Grace hash join baseline: unordered output, no codes, spills both inputs
 /// when the build side exceeds memory. Blocking: consumes both children in
 /// Open().
+///
+/// Graceful degradation: with FallbackPolicy::kSortMerge, a build side that
+/// overflows `memory_rows` mid-Open does NOT trigger recursive partition
+/// thrashing. Instead the rows already consumed plus the unread remainder
+/// feed an ExternalSort on the join key (spilling coded, prefix-truncated
+/// runs), the probe stream is sorted the same way, and a MergeJoin
+/// continuation finishes the query with the paper's comparison savings.
+/// The overflow is counted in QueryCounters::hash_join_fallbacks and the
+/// output keeps this operator's layout, so callers cannot tell the plans
+/// apart except by the counters (and the row order).
 class GraceHashJoin : public Operator {
  public:
   /// `type` limited to kInner and kLeftSemi (what Figure 6's plans need).
+  /// `sort_config` tunes the fallback sorts (only read under kSortMerge).
   GraceHashJoin(Operator* probe, Operator* build, uint32_t bind_columns,
                 JoinTypeHash type, uint64_t memory_rows,
                 QueryCounters* counters, TempFileManager* temp,
-                uint32_t partitions = 16);
+                uint32_t partitions = 16,
+                FallbackPolicy fallback = FallbackPolicy::kPartition,
+                SortConfig sort_config = SortConfig{});
 
   void Open() override;
   bool Next(RowRef* out) override;
@@ -120,12 +136,25 @@ class GraceHashJoin : public Operator {
   /// Splits a partition pair into `partitions_` sub-pairs at level+1.
   void Repartition(const PartitionPair& pair);
 
+  /// kSortMerge overflow path: moves the resident build rows into an
+  /// ExternalSort keyed on the bind columns (the rest of the build stream
+  /// follows via Add in Open's consume loop).
+  void BeginSortMergeFallback();
+  /// Sorts the probe stream and stands up the MergeJoin continuation.
+  void FinishSortMergeFallback();
+  /// Serves one continuation row, remapped to this operator's layout.
+  bool NextFallback(RowRef* out);
+  /// Records `status` in the temp manager's error slot and stops output.
+  void Degrade(const Status& status);
+
   Operator* probe_;
   Operator* build_;
   uint32_t bind_columns_;
   JoinTypeHash type_;
   uint64_t memory_rows_;
   uint32_t partitions_;
+  FallbackPolicy fallback_;
+  SortConfig sort_config_;
   Schema output_schema_;
   QueryCounters* counters_;
   TempFileManager* temp_;
@@ -137,6 +166,19 @@ class GraceHashJoin : public Operator {
   RowBuffer output_queue_;
   size_t queue_pos_ = 0;
   bool in_memory_ = false;
+
+  // Sort+merge continuation (kSortMerge overflow only). The schemas
+  // reinterpret the unchanged row layouts with key_arity == bind_columns_
+  // so both sides sort -- and MergeJoin binds -- on exactly the join key.
+  bool fell_back_ = false;
+  bool failed_ = false;
+  std::unique_ptr<Schema> fb_probe_schema_;
+  std::unique_ptr<Schema> fb_build_schema_;
+  std::unique_ptr<ExternalSort> fb_probe_sort_;
+  std::unique_ptr<ExternalSort> fb_build_sort_;
+  std::unique_ptr<Operator> fb_probe_view_;
+  std::unique_ptr<Operator> fb_build_view_;
+  std::unique_ptr<MergeJoin> fb_join_;
 
   std::vector<uint64_t> out_row_;
 };

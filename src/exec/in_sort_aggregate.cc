@@ -20,16 +20,21 @@ class MemorySink : public RunSink {
   InMemoryRun* run_;
 };
 
-/// RunSink appending to a spilled run file.
+/// RunSink appending to a spilled run file. The RunSink interface cannot
+/// return errors, so the first append failure is latched for the caller
+/// to check after the collapse pass.
 class FileSink : public RunSink {
  public:
   explicit FileSink(RunFileWriter* writer) : writer_(writer) {}
   void Accept(const uint64_t* row, Ovc code) override {
-    OVC_CHECK_OK(writer_->Append(row, code));
+    if (!status_.ok()) return;
+    status_ = writer_->Append(row, code);
   }
+  const Status& status() const { return status_; }
 
  private:
   RunFileWriter* writer_;
+  Status status_ = Status::Ok();
 };
 
 }  // namespace
@@ -117,6 +122,7 @@ Status InSortAggregate::SpillBuffer() {
   OVC_RETURN_IF_ERROR(writer.Open(path));
   FileSink sink(&writer);
   CollapseBufferInto(&sink);
+  OVC_RETURN_IF_ERROR(sink.status());
   OVC_RETURN_IF_ERROR(writer.Close());
   runs_.push_back(SpilledRun{path, writer.rows()});
   return Status::Ok();
@@ -194,6 +200,11 @@ Status InSortAggregate::PrepareMerge() {
   return Status::Ok();
 }
 
+void InSortAggregate::Degrade(const Status& status) {
+  failed_ = true;
+  temp_->RecordError(status);
+}
+
 void InSortAggregate::Open() {
   runs_.clear();
   buffer_.Clear();
@@ -202,6 +213,7 @@ void InSortAggregate::Open() {
   readers_.clear();
   merger_.reset();
   collapsing_output_.reset();
+  failed_ = false;
 
   child_->Open();
   RowRef ref;
@@ -209,7 +221,12 @@ void InSortAggregate::Open() {
     TransformRow(ref.cols);
     buffer_.AppendRow(state_row_.data());
     if (buffer_.size() >= config_.memory_rows) {
-      OVC_CHECK_OK(SpillBuffer());
+      const Status st = SpillBuffer();
+      if (!st.ok()) {
+        child_->Close();
+        Degrade(st);
+        return;
+      }
     }
   }
   child_->Close();
@@ -221,11 +238,13 @@ void InSortAggregate::Open() {
     memory_source_ = std::make_unique<InMemoryRunSource>(memory_run_.get());
     return;
   }
-  OVC_CHECK_OK(SpillBuffer());
-  OVC_CHECK_OK(PrepareMerge());
+  Status st = SpillBuffer();
+  if (st.ok()) st = PrepareMerge();
+  if (!st.ok()) Degrade(st);
 }
 
 bool InSortAggregate::Next(RowRef* out) {
+  if (failed_) return false;
   const uint64_t* row = nullptr;
   Ovc code = 0;
   if (memory_source_ != nullptr) {

@@ -61,6 +61,8 @@ class InSortAggregate : public Operator {
   void CollapseBufferInto(RunSink* sink);
   Status SpillBuffer();
   Status PrepareMerge();
+  /// Records `status` in the temp manager's error slot and stops output.
+  void Degrade(const Status& status);
 
   Operator* child_;
   uint32_t group_prefix_;
@@ -76,6 +78,7 @@ class InSortAggregate : public Operator {
   RowBuffer buffer_;
   std::vector<uint64_t> state_row_;
   std::vector<SpilledRun> runs_;
+  bool failed_ = false;
 
   // Output plumbing.
   std::unique_ptr<InMemoryRun> memory_run_;

@@ -23,6 +23,7 @@ class SortOperator : public Operator {
       : child_(child), counters_(counters), temp_(temp), config_(config) {}
 
   void Open() override {
+    failed_ = false;
     child_->Open();
     sort_ = std::make_unique<ExternalSort>(&child_->schema(), counters_, temp_,
                                            config_);
@@ -32,12 +33,21 @@ class SortOperator : public Operator {
     while (child_->NextBatch(&block) > 0) {
       sort_->AddBlock(block);
     }
-    OVC_CHECK_OK(sort_->Finish());
+    // A spill failure surfaces here (ExternalSort defers intake errors to
+    // Finish). Degrade instead of aborting: record the first error in the
+    // temp manager's slot and produce no rows -- the executor reports it.
+    const Status st = sort_->Finish();
+    if (!st.ok()) {
+      failed_ = true;
+      temp_->RecordError(st);
+    }
   }
 
-  bool Next(RowRef* out) override { return sort_->Next(out); }
+  bool Next(RowRef* out) override { return !failed_ && sort_->Next(out); }
 
-  uint32_t NextBatch(RowBlock* out) override { return sort_->NextBlock(out); }
+  uint32_t NextBatch(RowBlock* out) override {
+    return failed_ ? 0 : sort_->NextBlock(out);
+  }
 
   void Close() override {
     if (sort_ != nullptr) {
@@ -65,6 +75,7 @@ class SortOperator : public Operator {
   SortConfig config_;
   std::unique_ptr<ExternalSort> sort_;
   uint64_t last_spilled_runs_ = 0;
+  bool failed_ = false;
 };
 
 }  // namespace ovc

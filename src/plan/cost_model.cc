@@ -69,6 +69,12 @@ CardEstimate EstimateCardinality(const LogicalNode& node,
       est.rows = stats.row_count_known || stats.row_count > 0
                      ? std::max(1.0, static_cast<double>(stats.row_count))
                      : c.unknown_rows;
+      // Runtime feedback beats any a-priori stat: once a profiled run has
+      // observed this scan's true output, plan against what actually
+      // happened rather than what the catalog claimed.
+      if (stats.feedback_runs > 0) {
+        est.rows = std::max(1.0, stats.observed_rows);
+      }
       est.key_distinct =
           stats.key_distinct.empty()
               ? DefaultDistinct(est.rows, node.schema.key_arity(), c)

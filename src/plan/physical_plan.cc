@@ -926,7 +926,8 @@ Planner::Built Planner::BuildNode(LogicalNode* node, PhysicalPlan* plan,
           join = plan->Own(std::make_unique<GraceHashJoin>(
               left.op, right.op, node->children[0]->schema.key_arity(),
               ToHashType(node->join_type), options_.hash_memory_rows,
-              jm.ctrs, temp_, options_.hash_partitions));
+              jm.ctrs, temp_, options_.hash_partitions, options_.fallback,
+              options_.sort_config));
           break;
         default:
           OVC_CHECK(false);
@@ -1090,7 +1091,8 @@ Planner::Built Planner::BuildNode(LogicalNode* node, PhysicalPlan* plan,
             result.op = plan->Own(std::make_unique<HashAggregate>(
                 child.op, node->group_prefix, node->aggregates,
                 options_.hash_memory_rows, m.ctrs, temp_,
-                options_.hash_partitions));
+                options_.hash_partitions, options_.fallback,
+                options_.sort_config));
             break;
           default:
             OVC_CHECK(false);
@@ -1162,7 +1164,8 @@ Planner::Built Planner::BuildNode(LogicalNode* node, PhysicalPlan* plan,
           result.op = plan->Own(std::make_unique<HashAggregate>(
               child.op, node->schema.key_arity(),
               std::vector<AggregateSpec>(), options_.hash_memory_rows,
-              m.ctrs, temp_, options_.hash_partitions));
+              m.ctrs, temp_, options_.hash_partitions, options_.fallback,
+              options_.sort_config));
           break;
         default:
           OVC_CHECK(false);

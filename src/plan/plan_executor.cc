@@ -44,6 +44,10 @@ ExecutionResult PlanExecutor::Run(PhysicalPlan* plan) {
   // sorted-with-codes contract across block boundaries too.
   QueryProfile* profile = plan->profile();
   const uint64_t wall_start = profile != nullptr ? ProfileTicks() : 0;
+  // Errors from degrading operators land in the temp manager's first-error
+  // slot; start the run with a clean slot so a stale error from an earlier
+  // statement cannot fail this one.
+  if (temp_ != nullptr) temp_->ClearError();
   root->Open();
   RowBlock block(root->schema().total_columns(), options_.batch_rows);
   uint32_t n;
@@ -77,6 +81,14 @@ ExecutionResult PlanExecutor::Run(PhysicalPlan* plan) {
       OVC_CHECK(profile->ActualRows(profile->root()) ==
                 result.rows.size());
     }
+  }
+
+  // A degrading operator stops producing and records why; surface that as
+  // the result status so callers report a clean error instead of serving
+  // the truncated prefix.
+  if (temp_ != nullptr) {
+    result.status = temp_->first_error();
+    if (!result.status.ok()) temp_->ClearError();
   }
 
   if (validate) {

@@ -14,6 +14,7 @@
 #include <string>
 
 #include "common/counters.h"
+#include "common/status.h"
 #include "common/temp_file.h"
 #include "plan/logical_plan.h"
 #include "plan/physical_plan.h"
@@ -33,9 +34,13 @@ struct ExecutionResult {
   bool validated = false;
   /// First validation violation (empty when none, or when not validated).
   std::string validation_error;
+  /// First runtime error recorded by a degrading operator (temp-file I/O
+  /// failure that exhausted its retries, spill failure, ...). When not OK,
+  /// `rows` is a truncated prefix and must not be served to the client.
+  Status status = Status::Ok();
 
   uint64_t row_count() const { return rows.size(); }
-  bool ok() const { return validation_error.empty(); }
+  bool ok() const { return status.ok() && validation_error.empty(); }
 };
 
 /// Plans and runs logical plans.

@@ -18,16 +18,21 @@ class MemoryRunSink : public RunSink {
   InMemoryRun* run_;
 };
 
-/// RunSink writing to a spilled run file.
+/// RunSink writing to a spilled run file. Write errors are latched rather
+/// than aborted on (RunSink::Accept cannot return a Status); the caller
+/// checks status() after the sort pass.
 class FileRunSink : public RunSink {
  public:
   explicit FileRunSink(RunFileWriter* writer) : writer_(writer) {}
   void Accept(const uint64_t* row, Ovc code) override {
-    OVC_CHECK_OK(writer_->Append(row, code));
+    if (!status_.ok()) return;
+    status_ = writer_->Append(row, code);
   }
+  const Status& status() const { return status_; }
 
  private:
   RunFileWriter* writer_;
+  Status status_ = Status::Ok();
 };
 
 }  // namespace
@@ -54,23 +59,26 @@ ExternalSort::~ExternalSort() = default;
 
 void ExternalSort::Add(const uint64_t* row) {
   OVC_CHECK(!finished_);
+  if (!deferred_error_.ok()) return;  // intake degraded; Finish() reports
   if (rs_ != nullptr) {
-    OVC_CHECK_OK(rs_->Add(row));
+    DeferError(rs_->Add(row));
     return;
   }
   buffer_.AppendRow(row);
   if (buffer_.size() >= config_.memory_rows) {
-    OVC_CHECK_OK(SpillBuffer());
+    DeferError(SpillBuffer());
   }
 }
 
 void ExternalSort::AddBlock(const RowBlock& block) {
   OVC_CHECK(!finished_);
+  if (!deferred_error_.ok()) return;
   if (rs_ != nullptr) {
     // Replacement selection is inherently row-at-a-time (each row plays one
     // tournament match on entry).
     for (uint32_t i = 0; i < block.size(); ++i) {
-      OVC_CHECK_OK(rs_->Add(block.row(i)));
+      DeferError(rs_->Add(block.row(i)));
+      if (!deferred_error_.ok()) return;
     }
     return;
   }
@@ -82,9 +90,18 @@ void ExternalSort::AddBlock(const RowBlock& block) {
     buffer_.AppendRows(block.row(taken), n);
     taken += n;
     if (buffer_.size() >= config_.memory_rows) {
-      OVC_CHECK_OK(SpillBuffer());
+      DeferError(SpillBuffer());
+      if (!deferred_error_.ok()) return;
     }
   }
+}
+
+void ExternalSort::DeferError(const Status& status) {
+  if (status.ok() || !deferred_error_.ok()) return;
+  // First spill error wins; stop buffering (later Adds are dropped, which
+  // is fine -- the query is already failed and Finish() will say so).
+  deferred_error_ = status;
+  buffer_.Clear();
 }
 
 Status ExternalSort::SpillBuffer() {
@@ -97,6 +114,7 @@ Status ExternalSort::SpillBuffer() {
   OVC_RETURN_IF_ERROR(writer.Open(path));
   FileRunSink sink(&writer);
   sorter.Sort(buffer_, &sink);
+  OVC_RETURN_IF_ERROR(sink.status());
   OVC_RETURN_IF_ERROR(writer.Close());
   runs_.push_back(SpilledRun{path, writer.rows()});
   ++spilled_runs_;
@@ -107,6 +125,9 @@ Status ExternalSort::SpillBuffer() {
 Status ExternalSort::Finish() {
   OVC_CHECK(!finished_);
   finished_ = true;
+  // A spill error during intake fails the whole sort; Next()/NextBlock()
+  // then serve nothing (no merger is prepared).
+  if (!deferred_error_.ok()) return deferred_error_;
 
   if (rs_ != nullptr) {
     OVC_RETURN_IF_ERROR(rs_->Finish());

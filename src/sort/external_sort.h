@@ -61,7 +61,10 @@ class ExternalSort {
                TempFileManager* temp, SortConfig config);
   ~ExternalSort();
 
-  /// Adds one input row (copied).
+  /// Adds one input row (copied). Spill I/O errors during intake do not
+  /// abort: the sort records the first error, drops further input, and
+  /// Finish() reports it (the graceful-degradation contract the mid-query
+  /// fallbacks rely on).
   void Add(const uint64_t* row);
 
   /// Adds a whole block of input rows: one amortized-growth bulk copy per
@@ -91,6 +94,8 @@ class ExternalSort {
  private:
   Status SpillBuffer();
   Status PrepareMerge(std::vector<SpilledRun> runs);
+  /// Records the first intake error and degrades (see Add).
+  void DeferError(const Status& status);
 
   const Schema* schema_;
   OvcCodec codec_;
@@ -105,6 +110,7 @@ class ExternalSort {
   uint64_t spilled_runs_ = 0;
   uint32_t merge_levels_ = 0;
   bool finished_ = false;
+  Status deferred_error_ = Status::Ok();
 
   // Output plumbing: exactly one of these serves Next(). The final OVC
   // merge runs over concrete RunFileReader sources so the tournament's

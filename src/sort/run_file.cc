@@ -27,7 +27,15 @@ Status RunFileWriter::Append(const uint64_t* row, Ovc code) {
   return Status::Ok();
 }
 
-Status RunFileWriter::Close() { return file_.Close(); }
+Status RunFileWriter::Close() {
+  // Fold transient-I/O recoveries into the session counters once per file
+  // (retries() is cumulative over the writer's life).
+  if (counters_ != nullptr) {
+    counters_->io_retries += file_.retries() - retries_folded_;
+    retries_folded_ = file_.retries();
+  }
+  return file_.Close();
+}
 
 Status RunFileReader::Open(const std::string& path) {
   OVC_RETURN_IF_ERROR(file_.Open(path));

@@ -53,6 +53,7 @@ class RunFileWriter {
   QueryCounters* counters_;
   FileWriter file_;
   uint64_t rows_ = 0;
+  uint64_t retries_folded_ = 0;
 };
 
 /// Reads a prefix-truncated run file back as a MergeSource: rows come out

@@ -41,7 +41,15 @@ SqlResult<std::string> SqlSession::Explain(std::string_view sql) {
 SqlResult<QueryResult> SqlSession::Run(std::string_view sql) {
   SqlResult<std::unique_ptr<PreparedQuery>> prepared = Prepare(sql);
   if (!prepared.ok()) return prepared.error();
-  return Run(prepared.value().get());
+  QueryResult result = Run(prepared.value().get());
+  // Runtime failures (temp-file I/O that exhausted its retries, spill
+  // errors) surface as a clean SqlError, never as a truncated row set.
+  if (!result.result.status.ok()) {
+    SqlError error;
+    error.message = "execution failed: " + result.result.status.message();
+    return error;
+  }
+  return result;
 }
 
 QueryResult SqlSession::Run(PreparedQuery* prepared) {

@@ -241,6 +241,10 @@ TEST_F(CostModelTest, GroupsBeyondHashBudgetFlipToInSortAndMeasurementAgrees) {
   plan::PlanExecutor::Options exec_options;
   exec_options.validate = false;
   exec_options.planner.hash_memory_rows = 1000;
+  // This test measures the *partitioning* cost of an overflowing hash
+  // aggregate; pin the fallback policy so graceful degradation does not
+  // turn the hash plan into the sort plan it is being compared against.
+  exec_options.planner.fallback = FallbackPolicy::kPartition;
 
   // Cost-based under the tiny budget: in-sort aggregation, no hashing.
   QueryCounters in_sort_counters;
@@ -323,6 +327,9 @@ TEST_F(CostModelTest, TinyHashBudgetFlipsJoinToSortMergeAndMeasurementAgrees) {
   plan::PlanExecutor::Options exec_options;
   exec_options.validate = false;
   exec_options.planner.hash_memory_rows = 512;
+  // As above: the rule-based run must actually pay the grace partition
+  // round trip, not gracefully degrade into the competing sort plan.
+  exec_options.planner.fallback = FallbackPolicy::kPartition;
 
   // Cost-based with the tiny budget: sort + merge join, no hash join.
   QueryCounters sort_counters;

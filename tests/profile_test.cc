@@ -543,5 +543,72 @@ TEST_F(SqlProfileTest, FeedbackFlowsIntoTableStats) {
   EXPECT_EQ(lineitem->source.stats.feedback_runs, 1u);
 }
 
+TEST_F(SqlProfileTest, FeedbackFlipsJoinFromGraceHashToMergeAfterOneRun) {
+  // The planner-consumes-feedback loop, end to end: the catalog lies that
+  // both join inputs are tiny, so the cost-based planner picks grace hash
+  // under a 64-row budget. The first (profiled) run overflows mid-query --
+  // graceful degradation finishes it via the sort-merge fallback -- and
+  // its observed cardinalities, fed back into the catalog, flip the very
+  // next plan to sort + merge join.
+  // Both inputs unsorted (a sorted input would make merge join nearly
+  // free and decide the race by itself), both claiming 50 rows.
+  sql::Catalog catalog;
+  sql::Catalog::GeneratedSpec spec;
+  spec.distinct_per_column = 100;
+  spec.seed = 31;
+  ASSERT_TRUE(catalog
+                  .RegisterGenerated("lineitem", {"orderkey", "qty"},
+                                     Schema(1, 1), 2000, spec)
+                  .ok());
+  spec.seed = 32;
+  ASSERT_TRUE(catalog
+                  .RegisterGenerated("orders", {"orderkey", "custkey"},
+                                     Schema(1, 1), 500, spec)
+                  .ok());
+  for (const char* name : {"lineitem", "orders"}) {
+    sql::CatalogTable* table = catalog.FindMutable(name);
+    ASSERT_NE(table, nullptr);
+    table->source.stats.row_count = 50;
+    table->source.stats.row_count_known = true;
+    table->source.stats.key_distinct.clear();
+  }
+
+  plan::PlanExecutor::Options options;
+  options.validate = true;
+  options.abort_on_violation = false;
+  options.planner.hash_memory_rows = 64;
+  sql::SqlSession session(&catalog, options);
+
+  const std::string query =
+      "SELECT l.orderkey, o.custkey FROM lineitem l "
+      "JOIN orders o ON l.orderkey = o.orderkey";
+
+  // Mis-estimated plan: hash join, believing both sides fit the budget.
+  sql::SqlResult<std::string> before = session.Explain(query);
+  ASSERT_TRUE(before.ok());
+  EXPECT_NE(before.value().find("hash-join(grace)"), std::string::npos)
+      << before.value();
+
+  // The profiled run overflows the 64-row build budget and completes via
+  // the mid-query fallback.
+  sql::SqlResult<sql::QueryResult> run =
+      session.Run("EXPLAIN ANALYZE " + query);
+  ASSERT_TRUE(run.ok()) << run.error().ToString();
+  EXPECT_GE(session.counters()->hash_join_fallbacks, 1u);
+  EXPECT_NE(run.value().explain_text.find("!fallback(hash->sort)"),
+            std::string::npos)
+      << run.value().explain_text;
+
+  // Feed the observed cardinalities back; the next plan avoids the hash
+  // join entirely.
+  session.ApplyFeedbackTo(&catalog);
+  sql::SqlResult<std::string> after = session.Explain(query);
+  ASSERT_TRUE(after.ok());
+  EXPECT_NE(after.value().find("merge-join"), std::string::npos)
+      << after.value();
+  EXPECT_EQ(after.value().find("hash-join(grace)"), std::string::npos)
+      << after.value();
+}
+
 }  // namespace
 }  // namespace ovc

@@ -1,7 +1,8 @@
 // ovcsql: interactive (and scriptable) SQL shell over the OVC engine.
 //
-//   ./build/ovcsql [--parallelism=N] [--prefer-sort] [--memory-rows=N]
-//                  [--hash-memory-rows=N] [--rule-based] [--profile=FILE]
+//   ./build/ovcsql [--parallelism=N] [--prefer-sort] [--sort-memory-rows=N]
+//                  [--hash-memory-rows=N] [--fallback=sort-merge|partition]
+//                  [--rule-based] [--profile=FILE]
 //
 // Reads statements from stdin, terminated by ';'. Lines starting with '.'
 // are meta commands (run `.help`). EXPLAIN prints the physical plan the
@@ -14,7 +15,11 @@
 // --profile=FILE appends one JSON query profile per executed profiled
 // statement to FILE. --rule-based pins the pre-cost-model policy
 // planner; --hash-memory-rows shrinks the hash budget to watch the
-// cost-based planner flip join and aggregation strategies. A CI smoke
+// cost-based planner flip join and aggregation strategies, and
+// --sort-memory-rows bounds the sort workspace the same way (spilled
+// runs beyond it; --memory-rows is the legacy spelling). --fallback
+// picks what an overflowing hash operator does mid-query: sort-merge
+// (default; docs/ROBUSTNESS.md) or classic grace partitioning. A CI smoke
 // test pipes tools/smoke.sql through this binary and greps the plans, and
 // tools/check_docs.sh replays the EXPLAIN snippets embedded in docs/
 // (see .github/workflows/ci.yml).
@@ -211,12 +216,20 @@ int main(int argc, char** argv) {
           static_cast<uint32_t>(std::strtoul(arg + 14, nullptr, 10));
     } else if (std::strcmp(arg, "--prefer-sort") == 0) {
       options.planner.prefer_sort_based = true;
+    } else if (std::strncmp(arg, "--sort-memory-rows=", 19) == 0) {
+      options.planner.sort_config.memory_rows =
+          std::strtoull(arg + 19, nullptr, 10);
     } else if (std::strncmp(arg, "--memory-rows=", 14) == 0) {
+      // Legacy spelling of --sort-memory-rows.
       options.planner.sort_config.memory_rows =
           std::strtoull(arg + 14, nullptr, 10);
     } else if (std::strncmp(arg, "--hash-memory-rows=", 19) == 0) {
       options.planner.hash_memory_rows =
           std::strtoull(arg + 19, nullptr, 10);
+    } else if (std::strcmp(arg, "--fallback=sort-merge") == 0) {
+      options.planner.fallback = ovc::FallbackPolicy::kSortMerge;
+    } else if (std::strcmp(arg, "--fallback=partition") == 0) {
+      options.planner.fallback = ovc::FallbackPolicy::kPartition;
     } else if (std::strcmp(arg, "--rule-based") == 0) {
       options.planner.cost_policy = plan::CostPolicy::kRuleBased;
     } else if (std::strncmp(arg, "--profile=", 10) == 0) {
@@ -224,7 +237,8 @@ int main(int argc, char** argv) {
     } else {
       std::fprintf(stderr,
                    "usage: ovcsql [--parallelism=N] [--prefer-sort] "
-                   "[--memory-rows=N] [--hash-memory-rows=N] "
+                   "[--sort-memory-rows=N] [--hash-memory-rows=N] "
+                   "[--fallback=sort-merge|partition] "
                    "[--rule-based] [--profile=FILE]\n");
       return 2;
     }
