@@ -2,8 +2,10 @@
 
 #if OVC_FAILPOINTS_ENABLED
 
-#include <mutex>
 #include <unordered_map>
+
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
 
 namespace ovc {
 namespace failpoint {
@@ -17,8 +19,8 @@ struct ArmedPoint {
 };
 
 struct Registry {
-  std::mutex mu;
-  std::unordered_map<std::string, ArmedPoint> points;
+  Mutex mu;
+  std::unordered_map<std::string, ArmedPoint> points OVC_GUARDED_BY(mu);
 };
 
 Registry& GetRegistry() {
@@ -30,32 +32,32 @@ Registry& GetRegistry() {
 
 void Arm(const std::string& name, uint64_t skip_first, uint64_t fail_times) {
   Registry& r = GetRegistry();
-  std::lock_guard<std::mutex> lock(r.mu);
+  MutexLock lock(r.mu);
   r.points[name] = ArmedPoint{skip_first, fail_times, 0};
 }
 
 void Disarm(const std::string& name) {
   Registry& r = GetRegistry();
-  std::lock_guard<std::mutex> lock(r.mu);
+  MutexLock lock(r.mu);
   r.points.erase(name);
 }
 
 void DisarmAll() {
   Registry& r = GetRegistry();
-  std::lock_guard<std::mutex> lock(r.mu);
+  MutexLock lock(r.mu);
   r.points.clear();
 }
 
 uint64_t Hits(const std::string& name) {
   Registry& r = GetRegistry();
-  std::lock_guard<std::mutex> lock(r.mu);
+  MutexLock lock(r.mu);
   auto it = r.points.find(name);
   return it == r.points.end() ? 0 : it->second.hits;
 }
 
 bool ShouldFail(const char* name) {
   Registry& r = GetRegistry();
-  std::lock_guard<std::mutex> lock(r.mu);
+  MutexLock lock(r.mu);
   auto it = r.points.find(name);
   if (it == r.points.end()) return false;
   ArmedPoint& p = it->second;

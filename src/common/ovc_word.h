@@ -1,0 +1,24 @@
+// The offset-value code word type.
+//
+// Lives in common/ (below both row/ and core/) because the row containers
+// (row/row_block.h, row/row_buffer.h) store code arrays alongside rows
+// while the codec algebra over those words lives in core/ovc.h, which in
+// turn needs row/schema.h -- keeping the alias here is what keeps the
+// layer graph (common -> row -> core -> ...) acyclic. ovclint rule
+// OVC-L001 enforces that order from the include graph.
+
+#ifndef OVC_COMMON_OVC_WORD_H_
+#define OVC_COMMON_OVC_WORD_H_
+
+#include <cstdint>
+
+namespace ovc {
+
+/// An offset-value code word. Plain alias: codes live in hot arrays (tree
+/// nodes, run files) and must stay trivially copyable 64-bit integers.
+/// Layout and algebra: core/ovc.h.
+using Ovc = uint64_t;
+
+}  // namespace ovc
+
+#endif  // OVC_COMMON_OVC_WORD_H_

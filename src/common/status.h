@@ -29,7 +29,13 @@ const char* StatusCodeName(StatusCode code);
 
 /// A success-or-error result. Cheap to copy on the success path (no
 /// allocation); error path carries a message.
-class Status {
+///
+/// [[nodiscard]]: a discarded Status is a swallowed I/O error on the
+/// degrade path (docs/ROBUSTNESS.md). Callers must propagate
+/// (OVC_RETURN_IF_ERROR), check-abort where failure is a caller bug
+/// (OVC_CHECK_OK -- outside src/exec/ and src/sort/, see ovclint
+/// OVC-L002), or route the error somewhere with a comment saying why.
+class [[nodiscard]] Status {
  public:
   /// Constructs an OK status.
   Status() : code_(StatusCode::kOk) {}
@@ -68,7 +74,7 @@ class Status {
 
 /// Holds either a value of type T or an error Status.
 template <typename T>
-class StatusOr {
+class [[nodiscard]] StatusOr {
  public:
   /// Implicit from value: allows `return some_t;`.
   StatusOr(T value) : status_(), value_(std::move(value)) {}  // NOLINT

@@ -61,17 +61,17 @@ std::string TempFileManager::NewPath(const std::string& tag) {
 
 void TempFileManager::RecordError(const Status& status) {
   if (status.ok()) return;
-  std::lock_guard<std::mutex> lock(error_mu_);
+  MutexLock lock(error_mu_);
   if (first_error_.ok()) first_error_ = status;
 }
 
 Status TempFileManager::first_error() const {
-  std::lock_guard<std::mutex> lock(error_mu_);
+  MutexLock lock(error_mu_);
   return first_error_;
 }
 
 void TempFileManager::ClearError() {
-  std::lock_guard<std::mutex> lock(error_mu_);
+  MutexLock lock(error_mu_);
   first_error_ = Status::Ok();
 }
 

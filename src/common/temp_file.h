@@ -9,10 +9,11 @@
 
 #include <atomic>
 #include <cstdint>
-#include <mutex>
 #include <string>
 
+#include "common/mutex.h"
 #include "common/status.h"
+#include "common/thread_annotations.h"
 
 namespace ovc {
 
@@ -45,17 +46,17 @@ class TempFileManager {
   /// checks the slot after the run and surfaces the error to the session
   /// (a clean SqlError instead of an abort). Keeps only the first error.
   /// Thread-safe: parallel worker pipelines share one manager.
-  void RecordError(const Status& status);
+  void RecordError(const Status& status) OVC_EXCLUDES(error_mu_);
   /// The first recorded error since the last ClearError (Ok when none).
-  Status first_error() const;
+  Status first_error() const OVC_EXCLUDES(error_mu_);
   /// Resets the slot (the executor clears it before each run).
-  void ClearError();
+  void ClearError() OVC_EXCLUDES(error_mu_);
 
  private:
   std::string dir_;
   std::atomic<uint64_t> next_id_{0};
-  mutable std::mutex error_mu_;
-  Status first_error_ = Status::Ok();
+  mutable Mutex error_mu_;
+  Status first_error_ OVC_GUARDED_BY(error_mu_) = Status::Ok();
 };
 
 /// Buffered sequential writer over a temporary file.

@@ -1,0 +1,66 @@
+// Clang thread-safety-analysis annotation macros.
+//
+// These wrap Clang's capability analysis attributes
+// (https://clang.llvm.org/docs/ThreadSafetyAnalysis.html) so that the
+// locking contracts of the engine's shared structures -- the exchange
+// machinery in exec/exchange.h, TempFileManager's first-error slot, the
+// failpoint registry -- are machine-checked at compile time instead of
+// living only in comments and TSan runs. CI's lint job builds with
+// `-Werror=thread-safety`; on GCC (the default local toolchain) every
+// macro expands to nothing, so the annotations are free documentation.
+//
+// Conventions (enforced by review, documented in docs/STATIC_ANALYSIS.md):
+//  * Shared mutable state uses common/mutex.h's annotated Mutex, never a
+//    bare std::mutex -- the analysis cannot see through libstdc++'s
+//    unannotated std::mutex/std::lock_guard.
+//  * Every member a mutex protects carries OVC_GUARDED_BY(mu_).
+//  * Private helpers that assume the lock is held carry OVC_REQUIRES(mu_);
+//    public entry points that take the lock carry OVC_EXCLUDES(mu_).
+
+#ifndef OVC_COMMON_THREAD_ANNOTATIONS_H_
+#define OVC_COMMON_THREAD_ANNOTATIONS_H_
+
+#if defined(__clang__)
+#define OVC_THREAD_ANNOTATION_(x) __attribute__((x))
+#else
+#define OVC_THREAD_ANNOTATION_(x)  // no-op on GCC/MSVC
+#endif
+
+/// Marks a type as a lockable capability (mutexes).
+#define OVC_CAPABILITY(x) OVC_THREAD_ANNOTATION_(capability(x))
+
+/// Marks an RAII type that acquires a capability in its constructor and
+/// releases it in its destructor (lock guards).
+#define OVC_SCOPED_CAPABILITY OVC_THREAD_ANNOTATION_(scoped_lockable)
+
+/// Data member readable/writable only while holding the given mutex.
+#define OVC_GUARDED_BY(x) OVC_THREAD_ANNOTATION_(guarded_by(x))
+
+/// Pointer member whose *pointee* is protected by the given mutex.
+#define OVC_PT_GUARDED_BY(x) OVC_THREAD_ANNOTATION_(pt_guarded_by(x))
+
+/// Function that must be called with the given mutex(es) held.
+#define OVC_REQUIRES(...) \
+  OVC_THREAD_ANNOTATION_(requires_capability(__VA_ARGS__))
+
+/// Function that acquires the given mutex(es) and does not release them.
+#define OVC_ACQUIRE(...) \
+  OVC_THREAD_ANNOTATION_(acquire_capability(__VA_ARGS__))
+
+/// Function that releases the given mutex(es).
+#define OVC_RELEASE(...) \
+  OVC_THREAD_ANNOTATION_(release_capability(__VA_ARGS__))
+
+/// Function that must be called *without* the given mutex(es) held
+/// (deadlock documentation for public entry points that take the lock).
+#define OVC_EXCLUDES(...) OVC_THREAD_ANNOTATION_(locks_excluded(__VA_ARGS__))
+
+/// Function returning a reference to the given capability.
+#define OVC_RETURN_CAPABILITY(x) OVC_THREAD_ANNOTATION_(lock_returned(x))
+
+/// Escape hatch: disables the analysis for one function. Use only with a
+/// comment explaining why the analysis cannot follow the code.
+#define OVC_NO_THREAD_SAFETY_ANALYSIS \
+  OVC_THREAD_ANNOTATION_(no_thread_safety_analysis)
+
+#endif  // OVC_COMMON_THREAD_ANNOTATIONS_H_

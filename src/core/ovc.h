@@ -36,13 +36,10 @@
 #include <cstdint>
 #include <string>
 
+#include "common/ovc_word.h"
 #include "row/schema.h"
 
 namespace ovc {
-
-/// An offset-value code word. Plain alias: codes live in hot arrays (tree
-/// nodes, run files) and must stay trivially copyable 64-bit integers.
-using Ovc = uint64_t;
 
 /// Encoder/decoder for ascending offset-value codes over a given schema.
 class OvcCodec {

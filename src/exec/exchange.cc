@@ -111,7 +111,7 @@ Operator* SplitExchange::partition(uint32_t i) {
 }
 
 void SplitExchange::StreamOpen(uint32_t index) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   if (stream_closed_[index]) {
     // Re-opened before the cycle completed: it no longer counts as closed.
     stream_closed_[index] = false;
@@ -120,7 +120,7 @@ void SplitExchange::StreamOpen(uint32_t index) {
 }
 
 void SplitExchange::StreamClose(uint32_t index) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   if (stream_closed_[index]) return;
   stream_closed_[index] = true;
   ++closed_streams_;
@@ -197,7 +197,7 @@ void SplitExchange::PumpUntilLocked(uint32_t want, size_t min_rows) {
 }
 
 bool SplitExchange::NextRow(uint32_t index, RowRef* out) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   PumpUntilLocked(index, 1);
   auto& state = *states_[index];
   const uint64_t* row = nullptr;
@@ -209,7 +209,7 @@ bool SplitExchange::NextRow(uint32_t index, RowRef* out) {
 }
 
 uint32_t SplitExchange::NextRows(uint32_t index, RowBlock* out) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   out->Clear();
   PumpUntilLocked(index, out->capacity());
   auto& state = *states_[index];
@@ -222,30 +222,32 @@ uint32_t SplitExchange::NextRows(uint32_t index, RowBlock* out) {
 }
 
 bool BoundedBatchQueue::Push(std::unique_ptr<RowBatch> batch) {
-  std::unique_lock<std::mutex> lock(mu_);
-  not_full_.wait(lock,
-                 [this] { return cancelled_ || items_.size() < capacity_; });
+  MutexLock lock(mu_);
+  // Explicit condition loops (not a wait-predicate lambda) keep the guarded
+  // reads in this function's body, where the thread-safety analysis can see
+  // the lock is held.
+  while (!cancelled_ && items_.size() >= capacity_) not_full_.Wait(mu_);
   if (cancelled_) return false;
   items_.push_back(std::move(batch));
-  not_empty_.notify_one();
+  not_empty_.NotifyOne();
   return true;
 }
 
 std::unique_ptr<RowBatch> BoundedBatchQueue::Pop() {
-  std::unique_lock<std::mutex> lock(mu_);
-  not_empty_.wait(lock, [this] { return cancelled_ || !items_.empty(); });
+  MutexLock lock(mu_);
+  while (!cancelled_ && items_.empty()) not_empty_.Wait(mu_);
   if (items_.empty()) return nullptr;  // cancelled
   std::unique_ptr<RowBatch> batch = std::move(items_.front());
   items_.pop_front();
-  not_full_.notify_one();
+  not_full_.NotifyOne();
   return batch;
 }
 
 void BoundedBatchQueue::Cancel() {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   cancelled_ = true;
-  not_full_.notify_all();
-  not_empty_.notify_all();
+  not_full_.NotifyAll();
+  not_empty_.NotifyAll();
 }
 
 /// MergeSource fed by a producer thread's batch queue.

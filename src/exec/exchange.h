@@ -22,14 +22,14 @@
 #ifndef OVC_EXEC_EXCHANGE_H_
 #define OVC_EXEC_EXCHANGE_H_
 
-#include <condition_variable>
 #include <deque>
 #include <memory>
-#include <mutex>
 #include <thread>
 #include <vector>
 
 #include "common/counters.h"
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
 #include "core/accumulator.h"
 #include "exec/operator.h"
 #include "pq/plain_loser_tree.h"
@@ -129,18 +129,18 @@ class SplitExchange {
   };
 
   /// Partition-stream lifecycle hooks (see "Child lifecycle" above).
-  void StreamOpen(uint32_t index);
-  void StreamClose(uint32_t index);
+  void StreamOpen(uint32_t index) OVC_EXCLUDES(mu_);
+  void StreamClose(uint32_t index) OVC_EXCLUDES(mu_);
 
   /// Routes child rows to partition buffers until partition `want` holds at
   /// least `min_rows` rows or the child is exhausted. Caller holds mu_.
-  void PumpUntilLocked(uint32_t want, size_t min_rows);
-  uint32_t RouteOf(const uint64_t* row);
+  void PumpUntilLocked(uint32_t want, size_t min_rows) OVC_REQUIRES(mu_);
+  uint32_t RouteOf(const uint64_t* row) OVC_REQUIRES(mu_);
   /// One-row pull used by SplitPartitionStream.
-  bool NextRow(uint32_t index, RowRef* out);
+  bool NextRow(uint32_t index, RowRef* out) OVC_EXCLUDES(mu_);
   /// Block pull: fills `out` with up to its capacity rows of partition
   /// `index` (copied out of the partition buffers).
-  uint32_t NextRows(uint32_t index, RowBlock* out);
+  uint32_t NextRows(uint32_t index, RowBlock* out) OVC_EXCLUDES(mu_);
 
   Operator* child_;
   Policy policy_;
@@ -148,26 +148,30 @@ class SplitExchange {
   std::vector<uint64_t> range_bounds_;
   uint32_t hash_prefix_;
   bool child_has_ovc_;
+  /// Fixed at construction (never resized); the PartitionState *contents*
+  /// are mutated only under mu_, via methods annotated OVC_REQUIRES(mu_) --
+  /// the analysis cannot express "pointee of vector element", so that half
+  /// of the contract rides on the method annotations.
   std::vector<std::unique_ptr<PartitionState>> states_;
   std::vector<std::unique_ptr<Operator>> streams_;
 
   /// Serializes pumping, buffer access, and lifecycle transitions: the
   /// partition streams are pulled from concurrent producer threads but
   /// share the child and the routing state.
-  std::mutex mu_;
+  Mutex mu_;
   /// Staging block for batched pumping (one virtual child NextBatch per
-  /// block instead of one virtual Next per routed row). Guarded by mu_.
-  RowBlock pump_block_;
-  uint32_t pump_pos_ = 0;
-  uint64_t round_robin_next_ = 0;
-  bool child_open_ = false;
-  bool child_done_ = false;
+  /// block instead of one virtual Next per routed row).
+  RowBlock pump_block_ OVC_GUARDED_BY(mu_);
+  uint32_t pump_pos_ OVC_GUARDED_BY(mu_) = 0;
+  uint64_t round_robin_next_ OVC_GUARDED_BY(mu_) = 0;
+  bool child_open_ OVC_GUARDED_BY(mu_) = false;
+  bool child_done_ OVC_GUARDED_BY(mu_) = false;
   /// Streams closed in the current cycle. The child is closed (and all
   /// routing state reset) when every stream has been closed -- NOT when
   /// the count of concurrently-open streams drops to zero, which would
   /// discard rows buffered for partitions drained one after another.
-  std::vector<bool> stream_closed_;
-  uint32_t closed_streams_ = 0;
+  std::vector<bool> stream_closed_ OVC_GUARDED_BY(mu_);
+  uint32_t closed_streams_ OVC_GUARDED_BY(mu_) = 0;
 };
 
 /// A batch of rows travelling from a producer thread to the merge.
@@ -179,19 +183,19 @@ class BoundedBatchQueue {
   explicit BoundedBatchQueue(size_t capacity) : capacity_(capacity) {}
 
   /// Blocks while full; returns false when the queue was cancelled.
-  bool Push(std::unique_ptr<RowBatch> batch);
+  bool Push(std::unique_ptr<RowBatch> batch) OVC_EXCLUDES(mu_);
   /// Blocks while empty; nullptr signals end of stream.
-  std::unique_ptr<RowBatch> Pop();
+  std::unique_ptr<RowBatch> Pop() OVC_EXCLUDES(mu_);
   /// Unblocks producers and consumers; further pushes fail.
-  void Cancel();
+  void Cancel() OVC_EXCLUDES(mu_);
 
  private:
-  std::mutex mu_;
-  std::condition_variable not_full_;
-  std::condition_variable not_empty_;
-  std::deque<std::unique_ptr<RowBatch>> items_;
-  size_t capacity_;
-  bool cancelled_ = false;
+  Mutex mu_;
+  CondVar not_full_;
+  CondVar not_empty_;
+  std::deque<std::unique_ptr<RowBatch>> items_ OVC_GUARDED_BY(mu_);
+  const size_t capacity_;
+  bool cancelled_ OVC_GUARDED_BY(mu_) = false;
 };
 
 /// Many-to-one order-preserving merging exchange.

@@ -309,7 +309,7 @@ bool HashAggregate::ProcessNextPartition() {
     OvcCodec codec(&in);
     std::vector<std::unique_ptr<RunFileWriter>> writers;
     std::vector<std::string> paths;
-    RunFileReader reader(&in);
+    RunFileReader reader(&in, temp_);
     Status st = reader.Open(pending.path);
     const uint64_t* row = nullptr;
     Ovc code = 0;

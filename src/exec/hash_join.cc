@@ -486,7 +486,7 @@ void GraceHashJoin::Repartition(const PartitionPair& pair) {
   const uint64_t* row = nullptr;
   Ovc code = 0;
   if (st.ok()) {
-    RunFileReader build_reader(&bs);
+    RunFileReader build_reader(&bs, temp_);
     st = build_reader.Open(pair.build_path);
     while (st.ok() && build_reader.Next(&row, &code)) {
       const uint32_t p = PartitionOf(row, pair.level);
@@ -494,7 +494,7 @@ void GraceHashJoin::Repartition(const PartitionPair& pair) {
     }
   }
   if (st.ok()) {
-    RunFileReader probe_reader(&ps);
+    RunFileReader probe_reader(&ps, temp_);
     st = probe_reader.Open(pair.probe_path);
     while (st.ok() && probe_reader.Next(&row, &code)) {
       const uint32_t p = PartitionOf(row, pair.level);
@@ -525,8 +525,14 @@ bool GraceHashJoin::ProcessNextPartition() {
     // the memory budget is split recursively with the next level's salt.
     resident_build_.Clear();
     table_.clear();
-    RunFileReader build_reader(&build_->schema());
-    OVC_CHECK_OK(build_reader.Open(pair.build_path));
+    RunFileReader build_reader(&build_->schema(), temp_);
+    Status build_st = build_reader.Open(pair.build_path);
+    if (!build_st.ok()) {
+      // Degrade contract: a lost spill partition ends the operator's
+      // output cleanly; the executor surfaces the recorded error.
+      Degrade(build_st);
+      return false;
+    }
     const uint64_t* row = nullptr;
     Ovc code = 0;
     bool overflow = false;
@@ -546,8 +552,12 @@ bool GraceHashJoin::ProcessNextPartition() {
 
     output_queue_.Clear();
     queue_pos_ = 0;
-    RunFileReader probe_reader(&probe_->schema());
-    OVC_CHECK_OK(probe_reader.Open(pair.probe_path));
+    RunFileReader probe_reader(&probe_->schema(), temp_);
+    Status probe_st = probe_reader.Open(pair.probe_path);
+    if (!probe_st.ok()) {
+      Degrade(probe_st);
+      return false;
+    }
     while (probe_reader.Next(&row, &code)) {
       JoinResident(resident_build_, row);
     }

@@ -143,7 +143,7 @@ Status InSortAggregate::PrepareMerge() {
       std::vector<std::unique_ptr<RunFileReader>> readers;
       std::vector<MergeSource*> sources;
       for (size_t i = 0; i < count; ++i) {
-        readers.push_back(std::make_unique<RunFileReader>(&state_schema_));
+        readers.push_back(std::make_unique<RunFileReader>(&state_schema_, temp_));
         OVC_RETURN_IF_ERROR(readers.back()->Open(runs_[begin + i].path));
         sources.push_back(readers.back().get());
       }
@@ -178,7 +178,7 @@ Status InSortAggregate::PrepareMerge() {
   // Final merge, collapsed on the fly.
   std::vector<MergeSource*> sources;
   for (const SpilledRun& run : runs_) {
-    readers_.push_back(std::make_unique<RunFileReader>(&state_schema_));
+    readers_.push_back(std::make_unique<RunFileReader>(&state_schema_, temp_));
     OVC_RETURN_IF_ERROR(readers_.back()->Open(run.path));
     sources.push_back(readers_.back().get());
   }

@@ -38,7 +38,7 @@
 #include <vector>
 
 #include "common/check.h"
-#include "core/ovc.h"
+#include "common/ovc_word.h"
 
 namespace ovc {
 

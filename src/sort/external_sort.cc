@@ -170,7 +170,7 @@ Status ExternalSort::PrepareMerge(std::vector<SpilledRun> runs) {
       std::vector<std::unique_ptr<RunFileReader>> readers;
       std::vector<RunFileReader*> sources;
       for (size_t i = 0; i < count; ++i) {
-        readers.push_back(std::make_unique<RunFileReader>(schema_));
+        readers.push_back(std::make_unique<RunFileReader>(schema_, temp_));
         OVC_RETURN_IF_ERROR(readers.back()->Open(runs[begin + i].path));
         sources.push_back(readers.back().get());
       }
@@ -204,7 +204,7 @@ Status ExternalSort::PrepareMerge(std::vector<SpilledRun> runs) {
   // Final merge, served incrementally through Next()/NextBlock().
   std::vector<RunFileReader*> sources;
   for (const SpilledRun& run : runs) {
-    readers_.push_back(std::make_unique<RunFileReader>(schema_));
+    readers_.push_back(std::make_unique<RunFileReader>(schema_, temp_));
     OVC_RETURN_IF_ERROR(readers_.back()->Open(run.path));
     sources.push_back(readers_.back().get());
   }

@@ -1,5 +1,9 @@
 #include "sort/run_file.h"
 
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
 namespace ovc {
 
 Status RunFileWriter::Open(const std::string& path) {
@@ -45,22 +49,44 @@ Status RunFileReader::Open(const std::string& path) {
 
 bool RunFileReader::Next(const uint64_t** row, Ovc* code) {
   OVC_CHECK(open_);
-  if (file_.AtEof()) {
+  if (failed_ || file_.AtEof()) {
     return false;
   }
   uint16_t offset = 0;
-  OVC_CHECK_OK(file_.Read(&offset, sizeof(offset)));
+  Status st = file_.Read(&offset, sizeof(offset));
   const uint32_t arity = schema_->key_arity();
   const uint32_t total = schema_->total_columns();
-  OVC_CHECK(offset <= arity);
+  if (st.ok() && offset > arity) {
+    st = Status::IoError("corrupt run file: prefix offset " +
+                         std::to_string(offset) + " exceeds key arity " +
+                         std::to_string(arity));
+  }
   // The shared prefix is already in row_ from the previous row.
-  OVC_CHECK_OK(file_.Read(row_.data() + offset,
-                          (arity - offset) * sizeof(uint64_t)));
-  OVC_CHECK_OK(
-      file_.Read(row_.data() + arity, (total - arity) * sizeof(uint64_t)));
+  if (st.ok()) {
+    st = file_.Read(row_.data() + offset, (arity - offset) * sizeof(uint64_t));
+  }
+  if (st.ok()) {
+    st = file_.Read(row_.data() + arity, (total - arity) * sizeof(uint64_t));
+  }
+  if (!st.ok()) return Fail(st);
   *row = row_.data();
   *code = codec_.MakeFromRow(row_.data(), offset);
   return true;
+}
+
+bool RunFileReader::Fail(const Status& status) {
+  failed_ = true;
+  if (error_sink_ != nullptr) {
+    // Degrade contract: first error lands in the manager's slot, the
+    // stream ends, and the executor surfaces the error after the run.
+    error_sink_->RecordError(status);
+    return false;
+  }
+  // No sink (storage scans owning their files): a torn run file is not
+  // recoverable and truncating it silently would corrupt query results.
+  std::fprintf(stderr, "RunFileReader: unrecoverable run-file error: %s\n",
+               status.ToString().c_str());
+  std::abort();
 }
 
 }  // namespace ovc

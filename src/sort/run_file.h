@@ -62,24 +62,38 @@ class RunFileWriter {
 /// sort's merge inner loop.
 class RunFileReader final : public MergeSource {
  public:
-  explicit RunFileReader(const Schema* schema)
-      : schema_(schema), codec_(schema),
+  /// `error_sink` wires mid-run I/O errors into the degrade contract
+  /// (docs/ROBUSTNESS.md): a failed or short read is recorded as the
+  /// manager's first error and the reader reports end-of-stream, so the
+  /// plan executor surfaces a clean error after the run. Query-execution
+  /// callers (sort, aggregate, join spills) must pass their temp manager;
+  /// only storage scans that own their run files may pass nullptr, which
+  /// restores the old behavior of aborting on a corrupt spill.
+  explicit RunFileReader(const Schema* schema,
+                         TempFileManager* error_sink = nullptr)
+      : schema_(schema), codec_(schema), error_sink_(error_sink),
         row_(schema->total_columns(), 0) {}
 
   /// Opens `path` for reading.
   Status Open(const std::string& path);
 
-  /// MergeSource: next row + code. Aborts on I/O errors mid-run (a
-  /// corrupted spill file is not recoverable by the query).
+  /// MergeSource: next row + code. On a mid-run I/O error, records the
+  /// error in `error_sink` and reports end-of-stream (see constructor).
   bool Next(const uint64_t** row, Ovc* code) override;
 
  private:
+  /// Records `status` (non-OK) and ends the stream; aborts when no sink
+  /// was wired. Returns false so Next can `return Fail(st)`.
+  bool Fail(const Status& status);
+
   const Schema* schema_;
   OvcCodec codec_;
+  TempFileManager* error_sink_;
   std::vector<uint64_t> row_;  // reconstruction buffer (previous row's
                                // prefix stays in place)
   FileReader file_;
   bool open_ = false;
+  bool failed_ = false;
 };
 
 /// A spilled run: its path and row count. Value type handed between run

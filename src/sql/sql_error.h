@@ -19,7 +19,7 @@
 namespace ovc::sql {
 
 /// A parse or bind failure with its source position.
-struct SqlError {
+struct [[nodiscard]] SqlError {
   /// Human-readable description ("expected FROM", "unknown column 'x'").
   std::string message;
   /// 1-based line of the offending token (0 when unknown).
@@ -42,7 +42,7 @@ struct SqlError {
 /// Holds either a T or a SqlError. The front end's StatusOr: no exceptions
 /// anywhere on the parse/bind/execute path.
 template <typename T>
-class SqlResult {
+class [[nodiscard]] SqlResult {
  public:
   SqlResult(T value) : value_(std::move(value)) {}  // NOLINT: implicit
   SqlResult(SqlError error) : error_(std::move(error)) {}  // NOLINT: implicit

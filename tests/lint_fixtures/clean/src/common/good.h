@@ -1,0 +1,9 @@
+// Clean fixture: correct include guard, no includes.
+#ifndef OVC_COMMON_GOOD_H_
+#define OVC_COMMON_GOOD_H_
+
+namespace demo {
+inline int Answer() { return 42; }
+}  // namespace demo
+
+#endif  // OVC_COMMON_GOOD_H_

@@ -1,0 +1,13 @@
+// Clean fixture: downward include, a documented failpoint, a checked
+// condition that is not Status-valued, and a well-formed suppression
+// (which must neither report OVC-L000 nor change the result).
+// ovclint-disable-file OVC-L007 -- fixture: demonstrates a well-formed suppression
+
+#include "common/good.h"
+
+namespace demo {
+void Run() {
+  OVC_FAILPOINT("demo.point");
+  OVC_CHECK(Answer() == 42);
+}
+}  // namespace demo

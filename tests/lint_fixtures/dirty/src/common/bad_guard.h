@@ -1,0 +1,5 @@
+// Dirty fixture: include guard does not follow OVC_<PATH>_H_ (OVC-L006).
+#ifndef WRONG_GUARD_H
+#define WRONG_GUARD_H
+
+#endif  // WRONG_GUARD_H

@@ -1,0 +1,7 @@
+// Dirty fixture: core (layer 2) must not include exec (layer 5).
+#ifndef OVC_CORE_BAD_LAYER_H_
+#define OVC_CORE_BAD_LAYER_H_
+
+#include "exec/anything.h"
+
+#endif  // OVC_CORE_BAD_LAYER_H_

@@ -1,0 +1,9 @@
+// Dirty fixture: OVC_CHECK_OK inside src/exec/ (OVC-L002) and an
+// undocumented failpoint name (OVC-L004).
+
+namespace demo {
+void Spill() {
+  OVC_CHECK_OK(WriteRun());
+  OVC_FAILPOINT("undocumented.point");
+}
+}  // namespace demo

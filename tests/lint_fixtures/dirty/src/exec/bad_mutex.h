@@ -1,0 +1,14 @@
+// Dirty fixture: bare std::mutex in src/ (OVC-L007) -- invisible to
+// -Wthread-safety, so shared state must use common/mutex.h wrappers.
+#ifndef OVC_EXEC_BAD_MUTEX_H_
+#define OVC_EXEC_BAD_MUTEX_H_
+
+#include <mutex>
+
+namespace demo {
+struct Queue {
+  std::mutex mu;
+};
+}  // namespace demo
+
+#endif  // OVC_EXEC_BAD_MUTEX_H_

@@ -1,0 +1,5 @@
+// Dirty fixture: a suppression without the mandatory "-- reason" tail is
+// itself a finding (OVC-L000) and suppresses nothing.
+// ovclint-disable-file OVC-L002
+
+namespace demo {}

@@ -1,0 +1,7 @@
+// Dirty fixture: OVC_CHECK over a Status-valued expression (OVC-L003).
+
+namespace demo {
+void Merge() {
+  OVC_CHECK(status.ok());
+}
+}  // namespace demo

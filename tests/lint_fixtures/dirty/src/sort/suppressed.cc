@@ -1,0 +1,10 @@
+// Dirty fixture: the OVC_CHECK_OK below would be OVC-L002, but the
+// file-level suppression silences it -- the linter must report nothing
+// for this file.
+// ovclint-disable-file OVC-L002 -- fixture: suppression must silence the rule
+
+namespace demo {
+void Close() {
+  OVC_CHECK_OK(CloseRun());
+}
+}  // namespace demo

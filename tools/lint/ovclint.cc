@@ -1,0 +1,29 @@
+// ovclint CLI: lints a repo checkout and prints findings.
+//
+//   ovclint [root]     (root defaults to the current directory)
+//
+// Exit status: 0 clean, 1 findings, 2 usage error. CI runs this against
+// the live tree; tests/lint_test.cc runs the same library against the
+// fixtures under tests/lint_fixtures/.
+
+#include <cstdio>
+
+#include "tools/lint/ovclint_lib.h"
+
+int main(int argc, char** argv) {
+  if (argc > 2) {
+    std::fprintf(stderr, "usage: %s [root]\n", argv[0]);
+    return 2;
+  }
+  const std::string root = argc == 2 ? argv[1] : ".";
+  const std::vector<ovc::lint::Finding> findings = ovc::lint::LintTree(root);
+  for (const ovc::lint::Finding& f : findings) {
+    std::fprintf(stderr, "%s\n", ovc::lint::FormatFinding(f).c_str());
+  }
+  if (!findings.empty()) {
+    std::fprintf(stderr, "ovclint: %zu finding(s) in %s\n", findings.size(),
+                 root.c_str());
+    return 1;
+  }
+  return 0;
+}
