@@ -63,6 +63,25 @@ struct QueryCounters {
   /// Resets all counts to zero.
   void Reset() { *this = QueryCounters(); }
 
+  /// Per-field difference `after - before`. Counters are monotone within a
+  /// session, so snapshotting before a run and diffing after yields that
+  /// run's exact resource slice (QueryResult::counters_delta).
+  static QueryCounters Delta(const QueryCounters& before,
+                             const QueryCounters& after) {
+    QueryCounters d;
+    d.column_comparisons = after.column_comparisons - before.column_comparisons;
+    d.code_comparisons = after.code_comparisons - before.code_comparisons;
+    d.row_comparisons = after.row_comparisons - before.row_comparisons;
+    d.hash_computations = after.hash_computations - before.hash_computations;
+    d.rows_spilled = after.rows_spilled - before.rows_spilled;
+    d.bytes_spilled = after.bytes_spilled - before.bytes_spilled;
+    d.merge_bypass_rows = after.merge_bypass_rows - before.merge_bypass_rows;
+    d.hash_join_fallbacks = after.hash_join_fallbacks - before.hash_join_fallbacks;
+    d.hash_agg_fallbacks = after.hash_agg_fallbacks - before.hash_agg_fallbacks;
+    d.io_retries = after.io_retries - before.io_retries;
+    return d;
+  }
+
   /// One-line human-readable summary for examples and benchmarks.
   std::string ToString() const {
     return "column_cmp=" + std::to_string(column_comparisons) +

@@ -4,6 +4,7 @@
 
 #include <unordered_map>
 
+#include "common/metrics.h"
 #include "common/mutex.h"
 #include "common/thread_annotations.h"
 
@@ -64,8 +65,14 @@ bool ShouldFail(const char* name) {
   const uint64_t hit = p.hits++;
   if (hit < p.skip_first) return false;
   // kAlways saturates instead of overflowing skip_first + fail_times.
-  if (p.fail_times == kAlways) return true;
-  return hit - p.skip_first < p.fail_times;
+  const bool fire =
+      p.fail_times == kAlways || hit - p.skip_first < p.fail_times;
+  if (fire) {
+    OVC_METRIC_COUNTER("failpoint.injected",
+                       "Failures injected by armed failpoints")
+        .Increment();
+  }
+  return fire;
 }
 
 }  // namespace failpoint

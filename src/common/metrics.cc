@@ -1,0 +1,258 @@
+#include "common/metrics.h"
+
+#include <cmath>
+#include <cstdio>
+
+#include "common/check.h"
+
+namespace ovc::metrics {
+
+namespace {
+
+/// JSON string escaping, same dialect as QueryProfile::ToJson.
+void AppendJsonString(std::string_view s, std::string* out) {
+  out->push_back('"');
+  for (char ch : s) {
+    const unsigned char c = static_cast<unsigned char>(ch);
+    switch (c) {
+      case '"':
+        *out += "\\\"";
+        break;
+      case '\\':
+        *out += "\\\\";
+        break;
+      case '\n':
+        *out += "\\n";
+        break;
+      case '\t':
+        *out += "\\t";
+        break;
+      default:
+        if (c < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          *out += buf;
+        } else {
+          out->push_back(ch);
+        }
+    }
+  }
+  out->push_back('"');
+}
+
+/// Unit suffix implied by the metric name ("query.latency_us" -> "us").
+/// Time-valued snapshot fields carry it so check_docs.sh can normalize
+/// replayed `.metrics` fences the way it normalizes profile `?ms` times.
+const char* UnitSuffix(std::string_view name) {
+  auto ends_with = [&name](std::string_view suffix) {
+    return name.size() >= suffix.size() &&
+           name.substr(name.size() - suffix.size()) == suffix;
+  };
+  if (ends_with("_ns")) return "ns";
+  if (ends_with("_us")) return "us";
+  if (ends_with("_ms")) return "ms";
+  return "";
+}
+
+std::string FormatValue(double v, const char* unit) {
+  char buf[48];
+  std::snprintf(buf, sizeof(buf), "%.1f%s", v, unit);
+  return buf;
+}
+
+/// Bucket index for a sample: 0 holds value 0, bucket i>=1 holds
+/// [2^(i-1), 2^i).
+uint32_t BucketIndex(uint64_t value) {
+  if (value == 0) return 0;
+#if defined(__GNUC__) || defined(__clang__)
+  return static_cast<uint32_t>(64 - __builtin_clzll(value));
+#else
+  uint32_t bits = 0;
+  while (value != 0) {
+    value >>= 1;
+    ++bits;
+  }
+  return bits;
+#endif
+}
+
+}  // namespace
+
+uint32_t ThreadShardIndex() {
+  static std::atomic<uint32_t> next{0};
+  thread_local const uint32_t index =
+      next.fetch_add(1, std::memory_order_relaxed);
+  return index;
+}
+
+void Histogram::Record(uint64_t value) {
+  buckets_[BucketIndex(value)].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  sum_.fetch_add(value, std::memory_order_relaxed);
+}
+
+uint64_t Histogram::bucket_upper_bound(uint32_t i) {
+  if (i == 0) return 0;
+  if (i >= 64) return ~uint64_t{0};
+  return (uint64_t{1} << i) - 1;
+}
+
+double Histogram::Percentile(double p) const {
+  if (p < 0) p = 0;
+  if (p > 1) p = 1;
+  // Snapshot the buckets once; racing Record() calls can make count()
+  // disagree with the bucket sum, so derive the total from this snapshot.
+  uint64_t counts[kBuckets];
+  uint64_t total = 0;
+  for (uint32_t i = 0; i < kBuckets; ++i) {
+    counts[i] = buckets_[i].load(std::memory_order_relaxed);
+    total += counts[i];
+  }
+  if (total == 0) return 0;
+  const double target = p * static_cast<double>(total);
+  double cumulative = 0;
+  for (uint32_t i = 0; i < kBuckets; ++i) {
+    if (counts[i] == 0) continue;
+    const double next = cumulative + static_cast<double>(counts[i]);
+    if (next >= target) {
+      // Interpolate inside [lo, hi): bucket 0 is the point value 0.
+      if (i == 0) return 0;
+      const double lo = i == 1 ? 1.0 : std::ldexp(1.0, static_cast<int>(i) - 1);
+      const double hi = std::ldexp(1.0, static_cast<int>(i));
+      const double fraction =
+          (target - cumulative) / static_cast<double>(counts[i]);
+      return lo + fraction * (hi - lo);
+    }
+    cumulative = next;
+  }
+  return std::ldexp(1.0, 64);  // unreachable: total > 0 finds a bucket
+}
+
+MetricRegistry& MetricRegistry::Instance() {
+  // Leaked singleton (never destroyed): metric references handed out to
+  // function-local statics must stay valid through every exit path.
+  static MetricRegistry* instance = new MetricRegistry();
+  return *instance;
+}
+
+MetricRegistry::Entry& MetricRegistry::GetOrCreate(std::string_view name,
+                                                   std::string_view help,
+                                                   Kind kind) {
+  auto it = metrics_.find(name);
+  if (it != metrics_.end()) {
+    // Re-registration must agree on the kind; the name is the identity.
+    OVC_CHECK(it->second.kind == kind);
+    return it->second;
+  }
+  Entry entry;
+  entry.kind = kind;
+  entry.help = std::string(help);
+  switch (kind) {
+    case Kind::kCounter:
+      entry.counter = std::make_unique<Counter>();
+      break;
+    case Kind::kGauge:
+      entry.gauge = std::make_unique<Gauge>();
+      break;
+    case Kind::kHistogram:
+      entry.histogram = std::make_unique<Histogram>();
+      break;
+  }
+  return metrics_.emplace(std::string(name), std::move(entry)).first->second;
+}
+
+Counter& MetricRegistry::GetCounter(std::string_view name,
+                                    std::string_view help) {
+  MutexLock lock(mu_);
+  return *GetOrCreate(name, help, Kind::kCounter).counter;
+}
+
+Gauge& MetricRegistry::GetGauge(std::string_view name, std::string_view help) {
+  MutexLock lock(mu_);
+  return *GetOrCreate(name, help, Kind::kGauge).gauge;
+}
+
+Histogram& MetricRegistry::GetHistogram(std::string_view name,
+                                        std::string_view help) {
+  MutexLock lock(mu_);
+  return *GetOrCreate(name, help, Kind::kHistogram).histogram;
+}
+
+std::string MetricRegistry::TextSnapshot() const {
+  MutexLock lock(mu_);
+  std::string out;
+  for (const auto& [name, entry] : metrics_) {
+    switch (entry.kind) {
+      case Kind::kCounter:
+        out += "counter " + name + " " + std::to_string(entry.counter->value());
+        break;
+      case Kind::kGauge:
+        out += "gauge " + name + " " + std::to_string(entry.gauge->value());
+        break;
+      case Kind::kHistogram: {
+        const Histogram& h = *entry.histogram;
+        const char* unit = UnitSuffix(name);
+        out += "histogram " + name + " count=" + std::to_string(h.count()) +
+               " sum=" + FormatValue(static_cast<double>(h.sum()), unit) +
+               " p50=" + FormatValue(h.Percentile(0.50), unit) +
+               " p95=" + FormatValue(h.Percentile(0.95), unit) +
+               " p99=" + FormatValue(h.Percentile(0.99), unit);
+        break;
+      }
+    }
+    out.push_back('\n');
+  }
+  return out;
+}
+
+std::string MetricRegistry::JsonSnapshot() const {
+  MutexLock lock(mu_);
+  std::string out = "{\"metrics\":[";
+  bool first = true;
+  char buf[64];
+  for (const auto& [name, entry] : metrics_) {
+    if (!first) out.push_back(',');
+    first = false;
+    out += "{\"name\":";
+    AppendJsonString(name, &out);
+    out += ",\"help\":";
+    AppendJsonString(entry.help, &out);
+    switch (entry.kind) {
+      case Kind::kCounter:
+        out += ",\"kind\":\"counter\",\"value\":" +
+               std::to_string(entry.counter->value());
+        break;
+      case Kind::kGauge:
+        out += ",\"kind\":\"gauge\",\"value\":" +
+               std::to_string(entry.gauge->value());
+        break;
+      case Kind::kHistogram: {
+        const Histogram& h = *entry.histogram;
+        out += ",\"kind\":\"histogram\",\"count\":" +
+               std::to_string(h.count()) + ",\"sum\":" +
+               std::to_string(h.sum());
+        std::snprintf(buf, sizeof(buf), ",\"p50\":%.3f,\"p95\":%.3f,\"p99\":%.3f",
+                      h.Percentile(0.50), h.Percentile(0.95),
+                      h.Percentile(0.99));
+        out += buf;
+        out += ",\"buckets\":[";
+        bool first_bucket = true;
+        for (uint32_t i = 0; i < Histogram::kBuckets; ++i) {
+          const uint64_t n = h.bucket_count(i);
+          if (n == 0) continue;
+          if (!first_bucket) out.push_back(',');
+          first_bucket = false;
+          out += "{\"le\":" + std::to_string(Histogram::bucket_upper_bound(i)) +
+                 ",\"count\":" + std::to_string(n) + "}";
+        }
+        out += "]";
+        break;
+      }
+    }
+    out.push_back('}');
+  }
+  out += "]}";
+  return out;
+}
+
+}  // namespace ovc::metrics

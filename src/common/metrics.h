@@ -1,0 +1,195 @@
+// Process-wide metrics: named counters, gauges, and latency histograms.
+//
+// PR 6's QueryProfile explains one *query*; a serving process needs numbers
+// that survive across queries and threads -- cumulative counters ("how many
+// statements, how many spilled runs since start"), point-in-time gauges
+// ("producers running right now"), and latency histograms with percentile
+// extraction ("p99 statement latency"). MetricRegistry is that layer: a
+// process-global, thread-safe registry of named metrics, snapshotable as
+// text (the ovcsql `.metrics` command) or JSON (`ovcsql --metrics=FILE`).
+//
+// Design points:
+//  * Registration is idempotent and name-keyed: the first
+//    OVC_METRIC_COUNTER("x", help) call creates the metric, every later one
+//    (any thread, any translation unit) returns the same instance. The
+//    macros cache the lookup in a function-local static so steady-state use
+//    is one indirect load -- no lock, no map probe.
+//  * Counter is sharded: kShards cache-line-separated atomic cells, each
+//    thread incrementing its own (relaxed fetch_add on an uncontended
+//    line), summed on read. Hot-path increments from N exchange producers
+//    never bounce one cache line around.
+//  * Histogram buckets are exponential (one per power of two), so 64
+//    buckets cover any uint64 value; Percentile() interpolates linearly
+//    inside the selected bucket. Good to ~a bucket width, which is what a
+//    latency distribution needs (p99 = "about 8ms", never "8191us exactly").
+//  * Snapshots render time-valued metrics with their unit suffix (a name
+//    ending in `_us`/`_ms`/`_ns` gets that suffix on sum/percentiles) so
+//    tools/check_docs.sh can normalize away run-to-run jitter in replayed
+//    doc fences, exactly like the profile docs' `?ms` convention.
+//
+// Every metric name compiled into src/ must appear in the registry table of
+// docs/OBSERVABILITY.md and vice versa (ovclint OVC-L008/OVC-L009), the same
+// both-ways sync the failpoint registry gets from OVC-L004/L005.
+
+#ifndef OVC_COMMON_METRICS_H_
+#define OVC_COMMON_METRICS_H_
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <string_view>
+
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
+
+namespace ovc::metrics {
+
+/// Stable per-thread index used to pick a counter shard. Assigned on first
+/// use, round-robin, so the first kShards threads get distinct cells.
+uint32_t ThreadShardIndex();
+
+/// Monotonic process-wide counter, sharded across cache lines.
+class Counter {
+ public:
+  static constexpr uint32_t kShards = 16;
+
+  void Add(uint64_t n) {
+    shards_[ThreadShardIndex() % kShards].cell.fetch_add(
+        n, std::memory_order_relaxed);
+  }
+  void Increment() { Add(1); }
+
+  /// Sum over all shards. Monotone, but not a consistent cut: increments
+  /// racing with value() may or may not be included.
+  uint64_t value() const {
+    uint64_t total = 0;
+    for (const Shard& s : shards_) {
+      total += s.cell.load(std::memory_order_relaxed);
+    }
+    return total;
+  }
+
+ private:
+  struct alignas(64) Shard {
+    std::atomic<uint64_t> cell{0};
+  };
+  Shard shards_[kShards];
+};
+
+/// Point-in-time signed value (things currently running, bytes currently
+/// held). Single atomic -- gauges move at operator lifecycle frequency, not
+/// per row, so sharding would buy nothing.
+class Gauge {
+ public:
+  void Add(int64_t n) { value_.fetch_add(n, std::memory_order_relaxed); }
+  void Sub(int64_t n) { value_.fetch_sub(n, std::memory_order_relaxed); }
+  void Set(int64_t n) { value_.store(n, std::memory_order_relaxed); }
+  int64_t value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<int64_t> value_{0};
+};
+
+/// Exponential-bucket histogram over uint64 samples. Bucket i counts values
+/// in [2^(i-1), 2^i) (bucket 0 holds 0, bucket 1 holds exactly 1), so 65
+/// buckets cover the full range with relative error bounded by one octave.
+class Histogram {
+ public:
+  static constexpr uint32_t kBuckets = 65;
+
+  void Record(uint64_t value);
+
+  uint64_t count() const { return count_.load(std::memory_order_relaxed); }
+  uint64_t sum() const { return sum_.load(std::memory_order_relaxed); }
+
+  /// Value at quantile `p` in [0, 1], linearly interpolated within the
+  /// bucket where the cumulative count crosses p * count. 0 when empty.
+  double Percentile(double p) const;
+
+  /// Count in bucket `i` (exposed for snapshots and tests).
+  uint64_t bucket_count(uint32_t i) const {
+    return buckets_[i].load(std::memory_order_relaxed);
+  }
+  /// Inclusive upper bound of bucket `i` (the Prometheus-style `le`).
+  static uint64_t bucket_upper_bound(uint32_t i);
+
+ private:
+  std::atomic<uint64_t> buckets_[kBuckets] = {};
+  std::atomic<uint64_t> count_{0};
+  std::atomic<uint64_t> sum_{0};
+};
+
+/// The process-wide registry. Get*() is create-or-return by name; returned
+/// references live until process exit (metrics are never unregistered, so
+/// cached pointers in function-local statics stay valid forever).
+class MetricRegistry {
+ public:
+  static MetricRegistry& Instance();
+
+  Counter& GetCounter(std::string_view name, std::string_view help)
+      OVC_EXCLUDES(mu_);
+  Gauge& GetGauge(std::string_view name, std::string_view help)
+      OVC_EXCLUDES(mu_);
+  Histogram& GetHistogram(std::string_view name, std::string_view help)
+      OVC_EXCLUDES(mu_);
+
+  /// Human-readable snapshot, one metric per line, sorted by name:
+  ///   counter query.statements 12
+  ///   histogram query.latency_us count=12 sum=34.5ms p50=1.2ms ...
+  std::string TextSnapshot() const OVC_EXCLUDES(mu_);
+
+  /// Machine-readable snapshot:
+  ///   {"metrics":[{"name":...,"kind":...,"help":...,...}, ...]}
+  /// sorted by name; histograms carry count/sum/p50/p95/p99 plus the
+  /// non-empty buckets as [{"le":...,"count":...}].
+  std::string JsonSnapshot() const OVC_EXCLUDES(mu_);
+
+ private:
+  MetricRegistry() = default;
+
+  enum class Kind { kCounter, kGauge, kHistogram };
+  struct Entry {
+    Kind kind;
+    std::string help;
+    std::unique_ptr<Counter> counter;
+    std::unique_ptr<Gauge> gauge;
+    std::unique_ptr<Histogram> histogram;
+  };
+
+  Entry& GetOrCreate(std::string_view name, std::string_view help, Kind kind)
+      OVC_REQUIRES(mu_);
+
+  mutable Mutex mu_;
+  /// std::map: stable addresses for Entry values and sorted snapshots.
+  std::map<std::string, Entry, std::less<>> metrics_ OVC_GUARDED_BY(mu_);
+};
+
+}  // namespace ovc::metrics
+
+/// Use-site registration macros. Each expands to a reference to the named
+/// metric, resolving the registry lookup once per use site:
+///   OVC_METRIC_COUNTER("exec.rows", "Rows drained from root plans").Add(n);
+/// The name must be a string literal in dotted.lowercase (ovclint extracts
+/// it lexically for the OVC-L008/L009 docs-sync check).
+#define OVC_METRIC_COUNTER(name, help)                                        \
+  ([]() -> ::ovc::metrics::Counter& {                                         \
+    static ::ovc::metrics::Counter& ovc_metric =                              \
+        ::ovc::metrics::MetricRegistry::Instance().GetCounter(name, help);    \
+    return ovc_metric;                                                        \
+  }())
+#define OVC_METRIC_GAUGE(name, help)                                          \
+  ([]() -> ::ovc::metrics::Gauge& {                                           \
+    static ::ovc::metrics::Gauge& ovc_metric =                                \
+        ::ovc::metrics::MetricRegistry::Instance().GetGauge(name, help);      \
+    return ovc_metric;                                                        \
+  }())
+#define OVC_METRIC_HISTOGRAM(name, help)                                      \
+  ([]() -> ::ovc::metrics::Histogram& {                                       \
+    static ::ovc::metrics::Histogram& ovc_metric =                            \
+        ::ovc::metrics::MetricRegistry::Instance().GetHistogram(name, help);  \
+    return ovc_metric;                                                        \
+  }())
+
+#endif  // OVC_COMMON_METRICS_H_

@@ -12,6 +12,8 @@
 
 #include "common/check.h"
 #include "common/failpoint.h"
+#include "common/metrics.h"
+#include "common/trace.h"
 
 namespace ovc {
 
@@ -26,6 +28,12 @@ namespace {
 constexpr int kMaxIoRetries = 3;
 
 void BackoffBeforeRetry(int attempt) {
+  // The span makes retry stalls visible in traces: a pipeline that looks
+  // idle is often sitting in exactly this backoff.
+  OVC_TRACE_SPAN("tempfile.retry");
+  OVC_METRIC_COUNTER("tempfile.retries",
+                     "Transient temp-file I/O failures retried with backoff")
+      .Increment();
   std::this_thread::sleep_for(std::chrono::microseconds(100) * (1 << attempt));
 }
 
@@ -90,6 +98,9 @@ Status FileWriter::Open(const std::string& path) {
       file_ = f;
       path_ = path;
       bytes_written_ = 0;
+      OVC_METRIC_COUNTER("tempfile.files",
+                         "Temporary files opened for writing")
+          .Increment();
       return Status::Ok();
     }
     const bool transient = injected || TransientErrno(errno);

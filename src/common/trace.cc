@@ -1,0 +1,220 @@
+#include "common/trace.h"
+
+#include <cstdio>
+#include <utility>
+#include <vector>
+
+#include "common/metrics.h"
+#include "common/mutex.h"
+#include "common/profile.h"
+#include "common/thread_annotations.h"
+
+namespace ovc::trace {
+
+namespace {
+
+/// One closed span. `name` points at a string literal (OVC_TRACE_SPAN
+/// contract), so events store no owned strings.
+struct Event {
+  const char* name;
+  uint64_t start_ticks;
+  uint64_t dur_ticks;
+  uint32_t tid;
+  uint64_t span;
+  uint64_t parent;
+  uint64_t query;
+};
+
+/// Flush the thread-local buffer into the store at this size.
+constexpr size_t kFlushEvents = 256;
+/// Hard cap on stored events per trace; beyond it events are counted into
+/// the trace.events_dropped metric instead of growing without bound.
+constexpr size_t kMaxStoredEvents = size_t{1} << 20;
+
+struct Store {
+  std::atomic<bool> enabled{false};
+  /// Bumped by Enable(); buffers tagged with an older generation discard
+  /// their events instead of leaking them into the new trace.
+  std::atomic<uint64_t> generation{0};
+  std::atomic<uint64_t> next_span_id{1};
+  std::atomic<uint32_t> next_tid{1};
+  uint64_t base_ticks = 0;  // written by Enable() before `enabled` flips
+
+  Mutex mu;
+  std::vector<Event> events OVC_GUARDED_BY(mu);
+};
+
+Store& GetStore() {
+  static Store* store = new Store();  // leaked: outlives thread_local dtors
+  return *store;
+}
+
+struct ThreadLocalContext {
+  uint64_t span = 0;
+  uint64_t query = 0;
+};
+
+ThreadLocalContext& Ctx() {
+  thread_local ThreadLocalContext ctx;
+  return ctx;
+}
+
+uint32_t ThreadTid() {
+  thread_local const uint32_t tid =
+      GetStore().next_tid.fetch_add(1, std::memory_order_relaxed);
+  return tid;
+}
+
+/// Per-thread event buffer; its destructor flushes at thread exit, so a
+/// joined worker's spans are visible to any later export.
+struct ThreadBuffer {
+  std::vector<Event> events;
+  uint64_t generation = 0;
+
+  ~ThreadBuffer() { Flush(); }
+
+  void Flush() {
+    if (events.empty()) return;
+    Store& store = GetStore();
+    {
+      MutexLock lock(store.mu);
+      if (generation == store.generation.load(std::memory_order_relaxed)) {
+        size_t accepted = events.size();
+        const size_t room = store.events.size() < kMaxStoredEvents
+                                ? kMaxStoredEvents - store.events.size()
+                                : 0;
+        if (accepted > room) accepted = room;
+        store.events.insert(store.events.end(), events.begin(),
+                            events.begin() + static_cast<ptrdiff_t>(accepted));
+        const size_t dropped = events.size() - accepted;
+        if (dropped > 0) {
+          OVC_METRIC_COUNTER("trace.events_dropped",
+                             "Trace events discarded because the per-trace "
+                             "event cap was reached")
+              .Add(dropped);
+        }
+      }
+    }
+    events.clear();
+  }
+
+  void Append(const Event& e) {
+    Store& store = GetStore();
+    const uint64_t current =
+        store.generation.load(std::memory_order_relaxed);
+    if (generation != current) {
+      events.clear();  // stale events belong to a previous trace
+      generation = current;
+    }
+    events.push_back(e);
+    if (events.size() >= kFlushEvents) Flush();
+  }
+};
+
+ThreadBuffer& Buffer() {
+  thread_local ThreadBuffer buffer;
+  return buffer;
+}
+
+}  // namespace
+
+void Enable() {
+  Store& store = GetStore();
+  MutexLock lock(store.mu);
+  store.events.clear();
+  store.generation.fetch_add(1, std::memory_order_relaxed);
+  store.base_ticks = ProfileTicks();
+  store.enabled.store(true, std::memory_order_release);
+}
+
+void Disable() {
+  GetStore().enabled.store(false, std::memory_order_release);
+}
+
+bool Enabled() {
+  return GetStore().enabled.load(std::memory_order_acquire);
+}
+
+ThreadContext CaptureContext() {
+  const ThreadLocalContext& ctx = Ctx();
+  return ThreadContext{ctx.span, ctx.query};
+}
+
+ScopedThreadContext::ScopedThreadContext(ThreadContext ctx) {
+  ThreadLocalContext& tls = Ctx();
+  saved_ = ThreadContext{tls.span, tls.query};
+  tls.span = ctx.span_id;
+  tls.query = ctx.query_id;
+}
+
+ScopedThreadContext::~ScopedThreadContext() {
+  ThreadLocalContext& tls = Ctx();
+  tls.span = saved_.span_id;
+  tls.query = saved_.query_id;
+}
+
+ScopedQueryId::ScopedQueryId(uint64_t query_id) {
+  ThreadLocalContext& tls = Ctx();
+  saved_ = tls.query;
+  tls.query = query_id;
+}
+
+ScopedQueryId::~ScopedQueryId() { Ctx().query = saved_; }
+
+Span::Span(const char* name) : name_(name) {
+  if (!Enabled()) return;
+  Store& store = GetStore();
+  id_ = store.next_span_id.fetch_add(1, std::memory_order_relaxed);
+  ThreadLocalContext& ctx = Ctx();
+  parent_ = ctx.span;
+  ctx.span = id_;
+  start_ticks_ = ProfileTicks();
+}
+
+Span::~Span() {
+  if (id_ == 0) return;
+  const uint64_t end_ticks = ProfileTicks();
+  ThreadLocalContext& ctx = Ctx();
+  const uint64_t query = ctx.query;
+  ctx.span = parent_;
+  // Disabled mid-span: the nesting context is restored above, but the
+  // event is dropped (the trace it belonged to is over).
+  if (!Enabled()) return;
+  Buffer().Append(Event{name_, start_ticks_, end_ticks - start_ticks_,
+                        ThreadTid(), id_, parent_, query});
+}
+
+std::string ExportJson() {
+  Store& store = GetStore();
+  Buffer().Flush();  // the exporting thread's own spans
+  MutexLock lock(store.mu);
+  std::string out = "{\"traceEvents\":[";
+  char buf[96];
+  bool first = true;
+  for (const Event& e : store.events) {
+    if (!first) out.push_back(',');
+    first = false;
+    const uint64_t rel =
+        e.start_ticks >= store.base_ticks ? e.start_ticks - store.base_ticks
+                                          : 0;
+    const double ts_us = static_cast<double>(TicksToNs(rel)) / 1e3;
+    const double dur_us = static_cast<double>(TicksToNs(e.dur_ticks)) / 1e3;
+    out += "{\"name\":\"";
+    out += e.name;  // string literal: dotted.lowercase, no escaping needed
+    out += "\",\"ph\":\"X\"";
+    std::snprintf(buf, sizeof(buf), ",\"ts\":%.3f,\"dur\":%.3f", ts_us,
+                  dur_us);
+    out += buf;
+    std::snprintf(buf, sizeof(buf),
+                  ",\"pid\":1,\"tid\":%u,\"args\":{\"span\":%llu,"
+                  "\"parent\":%llu,\"query\":%llu}}",
+                  e.tid, static_cast<unsigned long long>(e.span),
+                  static_cast<unsigned long long>(e.parent),
+                  static_cast<unsigned long long>(e.query));
+    out += buf;
+  }
+  out += "],\"displayTimeUnit\":\"ms\"}";
+  return out;
+}
+
+}  // namespace ovc::trace

@@ -1,0 +1,129 @@
+// Cross-thread query tracing: scoped spans exported as Chrome trace JSON.
+//
+// EXPLAIN ANALYZE (PR 6) attributes time to plan nodes after the fact; a
+// trace shows *when* things happened -- which merge level overlapped which
+// producer thread, where a spilled retry stalled the pipeline. A span is a
+// named [start, end) interval on one thread:
+//
+//   void SqlSession::Run(...) {
+//     OVC_TRACE_SPAN("sql.statement");    // closes at scope exit
+//     ...
+//   }
+//
+// Spans nest per thread through a thread-local "current span" (each new
+// span's parent), and nest *across* threads by explicit context handoff:
+// the thread that spawns a worker captures its context and the worker
+// adopts it, so exchange producer spans parent under the consumer's plan
+// span even though they run on different threads:
+//
+//   trace::ThreadContext ctx = trace::CaptureContext();   // consumer
+//   std::thread([ctx] {
+//     trace::ScopedThreadContext adopt(ctx);              // producer
+//     OVC_TRACE_SPAN("exchange.producer");                // parented right
+//     ...
+//   });
+//
+// Cost discipline: tracing is globally off by default; an inactive span is
+// one relaxed atomic load and no stores. When on, closing a span appends
+// one event to a *thread-local* buffer (no lock); buffers flush into the
+// central store when full, at thread exit, and at export. Export produces
+// the Chrome trace_event JSON array format -- complete ("ph":"X") events
+// with microsecond timestamps -- loadable directly in chrome://tracing or
+// Perfetto. Span names are registered in docs/OBSERVABILITY.md and kept in
+// sync by ovclint OVC-L008/L009, like failpoints and metrics.
+
+#ifndef OVC_COMMON_TRACE_H_
+#define OVC_COMMON_TRACE_H_
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+
+namespace ovc::trace {
+
+/// Global switch. Enable() clears any previous trace and starts a new one;
+/// Disable() stops collection (already-buffered events stay exportable).
+void Enable();
+void Disable();
+bool Enabled();
+
+/// Serializes every collected event (flushing the calling thread's buffer)
+/// as a Chrome trace_event JSON object: {"traceEvents":[...]}. Threads that
+/// still hold unflushed buffers are included only after they exit or fill
+/// their buffer -- in this codebase worker threads are always joined before
+/// export, so exports see every span.
+std::string ExportJson();
+
+/// A span's identity plus the query it belongs to, for cross-thread
+/// parenting. Zero ids mean "no active span / query".
+struct ThreadContext {
+  uint64_t span_id = 0;
+  uint64_t query_id = 0;
+};
+
+/// The calling thread's current context (to hand to a worker thread).
+ThreadContext CaptureContext();
+
+/// Adopts a captured context as this thread's ambient parent for the
+/// lifetime of the object (restores the previous context on destruction).
+class ScopedThreadContext {
+ public:
+  explicit ScopedThreadContext(ThreadContext ctx);
+  ~ScopedThreadContext();
+  ScopedThreadContext(const ScopedThreadContext&) = delete;
+  ScopedThreadContext& operator=(const ScopedThreadContext&) = delete;
+
+ private:
+  ThreadContext saved_;
+};
+
+/// Marks the calling thread's ambient query id (the root statement span
+/// does this so every span under it -- any thread, via context handoff --
+/// carries the same query id in its args).
+class ScopedQueryId {
+ public:
+  explicit ScopedQueryId(uint64_t query_id);
+  ~ScopedQueryId();
+  ScopedQueryId(const ScopedQueryId&) = delete;
+  ScopedQueryId& operator=(const ScopedQueryId&) = delete;
+
+ private:
+  uint64_t saved_;
+};
+
+/// RAII span implementation behind OVC_TRACE_SPAN. `name` must be a string
+/// literal (stored by pointer until export).
+class Span {
+ public:
+  explicit Span(const char* name);
+  ~Span();
+  Span(const Span&) = delete;
+  Span& operator=(const Span&) = delete;
+
+  /// This span's id (0 when tracing was off at construction). The root
+  /// statement span feeds this to ScopedQueryId.
+  uint64_t id() const { return id_; }
+
+ private:
+  const char* name_;
+  uint64_t id_ = 0;
+  uint64_t parent_ = 0;
+  uint64_t start_ticks_ = 0;
+};
+
+}  // namespace ovc::trace
+
+#define OVC_TRACE_CONCAT2(a, b) a##b
+#define OVC_TRACE_CONCAT(a, b) OVC_TRACE_CONCAT2(a, b)
+/// Opens a span that closes at the end of the enclosing scope. The name
+/// must be a dotted.lowercase string literal registered in
+/// docs/OBSERVABILITY.md (ovclint OVC-L008/L009).
+#define OVC_TRACE_SPAN(name) \
+  ::ovc::trace::Span OVC_TRACE_CONCAT(ovc_trace_span_, __COUNTER__)(name)
+/// Like OVC_TRACE_SPAN but names the variable, for callers that need the
+/// span's id() (the root statement span feeds it to ScopedQueryId). Spans
+/// must go through one of these macros -- ovclint extracts the name from
+/// the macro argument list for the docs-registry sync.
+#define OVC_TRACE_SPAN_VAR(var, name) ::ovc::trace::Span var(name)
+
+#endif  // OVC_COMMON_TRACE_H_

@@ -1,5 +1,7 @@
 #include "exec/exchange.h"
 
+#include "common/metrics.h"
+#include "common/trace.h"
 #include "exec/hash_join.h"  // HashKeyPrefix
 #include "pq/plain_loser_tree.h"
 
@@ -316,7 +318,19 @@ void MergeExchange::Open() {
           std::make_unique<BoundedBatchQueue>(options_.queue_batches));
       BoundedBatchQueue* queue = queues_.back().get();
       const uint32_t batch_rows = options_.batch_rows;
-      producers_.emplace_back([in, queue, batch_rows] {
+      // Capture the consumer thread's trace context here so the producer
+      // span parents under whatever span is driving this Open() -- the
+      // trace then shows the worker threads nested inside the query even
+      // though they never share a stack with it.
+      const trace::ThreadContext trace_ctx = trace::CaptureContext();
+      producers_.emplace_back([in, queue, batch_rows, trace_ctx] {
+        trace::ScopedThreadContext adopt(trace_ctx);
+        OVC_TRACE_SPAN("exchange.producer");
+        metrics::Gauge& running = OVC_METRIC_GAUGE(
+            "exchange.producers_running", "Producer threads currently live");
+        running.Add(1);
+        metrics::Counter& batches_metric = OVC_METRIC_COUNTER(
+            "exchange.producer_batches", "Batches handed across exchanges");
         in->Open();
         const uint32_t width = in->schema().total_columns();
         // Pull whole blocks from the input pipeline (one virtual NextBatch
@@ -329,11 +343,13 @@ void MergeExchange::Open() {
           batch->Reserve(n);
           batch->AppendBlock(block);
           alive = queue->Push(std::move(batch));
+          batches_metric.Increment();
         }
         if (alive) {
           queue->Push(nullptr);  // end-of-stream sentinel
         }
         in->Close();
+        running.Sub(1);
       });
       sources_.push_back(std::make_unique<QueueMergeSource>(queue));
       raw_sources.push_back(sources_.back().get());

@@ -4,6 +4,8 @@
 #include <limits>
 
 #include "common/failpoint.h"
+#include "common/metrics.h"
+#include "common/trace.h"
 #include "exec/hash_join.h"  // HashKeyPrefix
 #include "sort/run_file.h"
 
@@ -162,8 +164,12 @@ void HashAggregate::BeginSortMergeFallback() {
   // The group table is full: switch to the sort-based plan mid-query.
   // Every resident state row and every remaining input row feeds one
   // external sort on the group key; the pull side collapses duplicates.
+  OVC_TRACE_SPAN("hash_aggregate.fallback");
   fell_back_ = true;
   if (counters_ != nullptr) ++counters_->hash_agg_fallbacks;
+  OVC_METRIC_COUNTER("hash_aggregate.fallbacks",
+                     "Hash aggregations that degraded to in-sort")
+      .Increment();
   const Schema& in = child_->schema();
   std::vector<SortDirection> dirs;
   for (uint32_t c = 0; c < group_prefix_; ++c) dirs.push_back(in.direction(c));

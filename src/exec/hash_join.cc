@@ -3,6 +3,8 @@
 #include <cstring>
 
 #include "common/failpoint.h"
+#include "common/metrics.h"
+#include "common/trace.h"
 #include "sort/run_file.h"
 
 namespace ovc {
@@ -279,8 +281,12 @@ void GraceHashJoin::BeginSortMergeFallback() {
   // build row -- resident or still unread -- flows into an external sort
   // on the join key, and the probe side will follow. One sort per input,
   // no partition recursion, OVCs preserved end to end.
+  OVC_TRACE_SPAN("hash_join.fallback");
   fell_back_ = true;
   if (counters_ != nullptr) ++counters_->hash_join_fallbacks;
+  OVC_METRIC_COUNTER("hash_join.fallbacks",
+                     "Grace hash joins that degraded to sort+merge")
+      .Increment();
   const Schema& ps = probe_->schema();
   fb_probe_schema_ = std::make_unique<Schema>(
       BindPrefixSchema(ps, ps.total_columns(), bind_columns_));

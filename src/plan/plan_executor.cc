@@ -2,6 +2,8 @@
 
 #include <utility>
 
+#include "common/metrics.h"
+#include "common/trace.h"
 #include "core/ovc_checker.h"
 
 namespace ovc::plan {
@@ -26,6 +28,7 @@ ExecutionResult PlanExecutor::Run(LogicalNode* root) {
 }
 
 ExecutionResult PlanExecutor::Run(PhysicalPlan* plan) {
+  OVC_TRACE_SPAN("plan.execute");
   Operator* root = plan->root();
   ExecutionResult result;
   result.order = plan->root_order();
@@ -50,8 +53,17 @@ ExecutionResult PlanExecutor::Run(PhysicalPlan* plan) {
   if (temp_ != nullptr) temp_->ClearError();
   root->Open();
   RowBlock block(root->schema().total_columns(), options_.batch_rows);
+  // Process-wide drain accounting: one sharded relaxed fetch_add per
+  // *batch*, not per row, so the hot path stays inside the <=2%
+  // instrumentation budget (bench/bench_metrics_overhead.cc prices it).
+  metrics::Counter& batch_metric =
+      OVC_METRIC_COUNTER("exec.batches", "Batches drained from root plans");
+  metrics::Counter& row_metric =
+      OVC_METRIC_COUNTER("exec.rows", "Rows drained from root plans");
   uint32_t n;
   while ((n = root->NextBatch(&block)) > 0) {
+    batch_metric.Increment();
+    row_metric.Add(n);
     if (validate) {
       for (uint32_t i = 0; i < n; ++i) {
         checker.Observe(block.row(i), block.code(i));

@@ -2,6 +2,9 @@
 
 #include <algorithm>
 
+#include "common/metrics.h"
+#include "common/trace.h"
+
 namespace ovc {
 
 namespace {
@@ -106,6 +109,7 @@ void ExternalSort::DeferError(const Status& status) {
 
 Status ExternalSort::SpillBuffer() {
   if (buffer_.empty()) return Status::Ok();
+  OVC_TRACE_SPAN("sort.spill_run");
   BatchSorter sorter(schema_, counters_, config_.run_gen,
                      config_.mini_run_rows, config_.use_ovc,
                      config_.naive_output_codes);
@@ -113,11 +117,17 @@ Status ExternalSort::SpillBuffer() {
   const std::string path = temp_->NewPath("run");
   OVC_RETURN_IF_ERROR(writer.Open(path));
   FileRunSink sink(&writer);
-  sorter.Sort(buffer_, &sink);
+  {
+    OVC_TRACE_SPAN("sort.run_generation");
+    sorter.Sort(buffer_, &sink);
+  }
   OVC_RETURN_IF_ERROR(sink.status());
   OVC_RETURN_IF_ERROR(writer.Close());
   runs_.push_back(SpilledRun{path, writer.rows()});
   ++spilled_runs_;
+  OVC_METRIC_COUNTER("sort.runs_spilled",
+                     "Sorted runs written to temporary storage")
+      .Increment();
   buffer_.Clear();
   return Status::Ok();
 }
@@ -139,6 +149,7 @@ Status ExternalSort::Finish() {
 
   if (runs_.empty()) {
     // Input fits in memory: sort and serve without spilling.
+    OVC_TRACE_SPAN("sort.run_generation");
     memory_run_ = std::make_unique<InMemoryRun>(schema_->total_columns());
     memory_run_->Reserve(buffer_.size());
     BatchSorter sorter(schema_, counters_, config_.run_gen,
@@ -158,7 +169,11 @@ Status ExternalSort::Finish() {
 Status ExternalSort::PrepareMerge(std::vector<SpilledRun> runs) {
   // Cascade intermediate merges while the run count exceeds the fan-in.
   while (runs.size() > config_.fan_in) {
+    OVC_TRACE_SPAN("sort.merge_level");
     ++merge_levels_;
+    OVC_METRIC_COUNTER("sort.merge_levels",
+                       "Intermediate merge levels run by external sorts")
+        .Increment();
     std::vector<SpilledRun> next_level;
     for (size_t begin = 0; begin < runs.size(); begin += config_.fan_in) {
       const size_t count =

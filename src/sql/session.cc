@@ -2,20 +2,69 @@
 
 #include <utility>
 
+#include "common/metrics.h"
+#include "common/profile.h"
+#include "common/trace.h"
 #include "sql/parser.h"
 
 namespace ovc::sql {
+
+namespace {
+
+/// Mirrors a statement's counter delta into the process-wide query.*
+/// metrics, one metric per QueryCounters field. ovcsql `.counters`, the
+/// JSON profile, and `.metrics` therefore agree field-for-field.
+void RecordQueryMetrics(const QueryCounters& d) {
+  OVC_METRIC_COUNTER("query.column_comparisons",
+                     "Column value comparisons across all statements")
+      .Add(d.column_comparisons);
+  OVC_METRIC_COUNTER("query.code_comparisons",
+                     "Offset-value code comparisons across all statements")
+      .Add(d.code_comparisons);
+  OVC_METRIC_COUNTER("query.row_comparisons",
+                     "Row comparisons across all statements")
+      .Add(d.row_comparisons);
+  OVC_METRIC_COUNTER("query.hash_computations",
+                     "Key hash computations across all statements")
+      .Add(d.hash_computations);
+  OVC_METRIC_COUNTER("query.rows_spilled",
+                     "Rows written to temporary storage")
+      .Add(d.rows_spilled);
+  OVC_METRIC_COUNTER("query.bytes_spilled",
+                     "Bytes written to temporary storage")
+      .Add(d.bytes_spilled);
+  OVC_METRIC_COUNTER("query.merge_bypass_rows",
+                     "Rows that bypassed merge logic as coded duplicates")
+      .Add(d.merge_bypass_rows);
+  OVC_METRIC_COUNTER("query.hash_join_fallbacks",
+                     "Grace hash joins degraded to sort+merge mid-query")
+      .Add(d.hash_join_fallbacks);
+  OVC_METRIC_COUNTER("query.hash_agg_fallbacks",
+                     "Hash aggregations degraded to in-sort mid-query")
+      .Add(d.hash_agg_fallbacks);
+  OVC_METRIC_COUNTER("query.io_retries",
+                     "Transient temp-file I/O failures recovered by retry")
+      .Add(d.io_retries);
+}
+
+}  // namespace
 
 SqlSession::SqlSession(const Catalog* catalog, Options options)
     : catalog_(catalog), executor_(&counters_, &temp_, options) {}
 
 SqlResult<std::unique_ptr<PreparedQuery>> SqlSession::Prepare(
     std::string_view sql) {
-  SqlResult<Statement> stmt = ParseStatement(sql);
+  SqlResult<Statement> stmt = [&] {
+    OVC_TRACE_SPAN("sql.parse");
+    return ParseStatement(sql);
+  }();
   if (!stmt.ok()) return stmt.error();
 
   Binder binder(catalog_);
-  SqlResult<BoundQuery> bound = binder.Bind(stmt.value().select);
+  SqlResult<BoundQuery> bound = [&] {
+    OVC_TRACE_SPAN("sql.bind");
+    return binder.Bind(stmt.value().select);
+  }();
   if (!bound.ok()) return bound.error();
 
   auto prepared = std::make_unique<PreparedQuery>();
@@ -27,8 +76,11 @@ SqlResult<std::unique_ptr<PreparedQuery>> SqlSession::Prepare(
   // everything else inherits the session's planner options unchanged.
   plan::PlannerOptions planner_options = executor_.options().planner;
   if (prepared->is_analyze) planner_options.profile = true;
-  prepared->physical = std::make_unique<plan::PhysicalPlan>(
-      executor_.Plan(prepared->bound.plan.get(), planner_options));
+  {
+    OVC_TRACE_SPAN("sql.plan");
+    prepared->physical = std::make_unique<plan::PhysicalPlan>(
+        executor_.Plan(prepared->bound.plan.get(), planner_options));
+  }
   return prepared;
 }
 
@@ -39,16 +91,43 @@ SqlResult<std::string> SqlSession::Explain(std::string_view sql) {
 }
 
 SqlResult<QueryResult> SqlSession::Run(std::string_view sql) {
+  // The root span for the whole statement lifecycle; every nested span --
+  // parse/bind/plan/execute on this thread, exchange producers on worker
+  // threads via context handoff -- carries this span's id as its query id.
+  OVC_TRACE_SPAN_VAR(statement_span, "sql.statement");
+  trace::ScopedQueryId query_scope(statement_span.id());
+  const uint64_t start_ticks = ProfileTicks();
+  OVC_METRIC_COUNTER("query.statements",
+                     "SQL statements accepted by SqlSession::Run")
+      .Increment();
+  auto record_latency = [start_ticks] {
+    OVC_METRIC_HISTOGRAM("query.latency_us",
+                         "End-to-end statement latency (prepare + execute)")
+        .Record(TicksToNs(ProfileTicks() - start_ticks) / 1000);
+  };
+
   SqlResult<std::unique_ptr<PreparedQuery>> prepared = Prepare(sql);
-  if (!prepared.ok()) return prepared.error();
+  if (!prepared.ok()) {
+    OVC_METRIC_COUNTER("query.errors",
+                       "Statements that failed to prepare or execute")
+        .Increment();
+    record_latency();
+    return prepared.error();
+  }
   QueryResult result = Run(prepared.value().get());
+  record_latency();
   // Runtime failures (temp-file I/O that exhausted its retries, spill
   // errors) surface as a clean SqlError, never as a truncated row set.
   if (!result.result.status.ok()) {
+    OVC_METRIC_COUNTER("query.errors",
+                       "Statements that failed to prepare or execute")
+        .Increment();
     SqlError error;
     error.message = "execution failed: " + result.result.status.message();
     return error;
   }
+  OVC_METRIC_COUNTER("query.rows_out", "Result rows returned to clients")
+      .Add(result.result.rows.size());
   return result;
 }
 
@@ -60,7 +139,13 @@ QueryResult SqlSession::Run(PreparedQuery* prepared) {
     out.explain_text = prepared->explain_text();
     return out;
   }
+  OVC_TRACE_SPAN("sql.execute");
+  // Everything a run adds to the session counters -- worker roll-ups and
+  // profile folds included -- is this statement's resource slice.
+  const QueryCounters before = counters_;
   out.result = executor_.Run(prepared->physical.get());
+  out.counters_delta = QueryCounters::Delta(before, counters_);
+  RecordQueryMetrics(out.counters_delta);
   if (const QueryProfile* profile = prepared->physical->profile()) {
     out.profile_json = profile->ToJson();
     RecordFeedback(*prepared->physical);

@@ -63,6 +63,10 @@ struct QueryResult {
   /// JSON query profile; set whenever the run was profiled (EXPLAIN
   /// ANALYZE, or a session with Options::planner.profile set).
   std::string profile_json;
+  /// What executing this statement added to the session counters -- the
+  /// per-query resource slice. The same delta is added to the process-wide
+  /// query.* metrics (common/metrics.h), so the two surfaces always agree.
+  QueryCounters counters_delta;
 };
 
 class SqlSession {

@@ -1,0 +1,10 @@
+// Clean fixture: metric and span names that match the registry tables in
+// docs/OBSERVABILITY.md exactly, through every macro form (including the
+// named-variable span variant whose name is the SECOND argument).
+
+namespace demo {
+void Run() {
+  OVC_METRIC_COUNTER("demo.metric", "documented counter").Increment();
+  OVC_TRACE_SPAN_VAR(span, "demo.span");
+}
+}  // namespace demo

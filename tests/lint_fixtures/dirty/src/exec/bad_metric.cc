@@ -1,0 +1,11 @@
+// Dirty fixture: OVC-L008 -- a metric name used in code but missing from
+// the docs/OBSERVABILITY.md registry tables. The span name below IS
+// documented, pinning that a documented-and-used name stays silent (and
+// that OVC_TRACE_SPAN extraction works).
+
+namespace demo {
+void Run() {
+  OVC_METRIC_COUNTER("undocumented.metric", "not in the registry").Increment();
+  OVC_TRACE_SPAN("demo.span");
+}
+}  // namespace demo

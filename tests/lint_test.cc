@@ -73,14 +73,19 @@ TEST(LintFixtures, DirtyTreeFlagsEveryRuleExactlyOnce) {
       << Dump(findings);
   EXPECT_EQ(CountRuleInFile(findings, "OVC-L007", "src/exec/bad_mutex.h"), 1)
       << Dump(findings);
+  EXPECT_EQ(CountRuleInFile(findings, "OVC-L008", "src/exec/bad_metric.cc"), 1)
+      << Dump(findings);
+  EXPECT_EQ(CountRuleInFile(findings, "OVC-L009", "docs/OBSERVABILITY.md"), 1)
+      << Dump(findings);
 
   // The well-formed suppression silences OVC-L002 for its file entirely.
   for (const Finding& f : findings) {
     EXPECT_NE(f.file, "src/sort/suppressed.cc") << FormatFinding(f);
   }
 
-  // Exactly the eight violations above -- nothing extra.
-  EXPECT_EQ(findings.size(), 8u) << Dump(findings);
+  // Exactly the ten violations above -- nothing extra. In particular the
+  // documented-and-used span in bad_metric.cc stays silent.
+  EXPECT_EQ(findings.size(), 10u) << Dump(findings);
 }
 
 TEST(LintLiveTree, RepoLintsClean) {

@@ -32,168 +32,8 @@ using plan::PhysicalPlan;
 using plan::PlanBuilder;
 using plan::PlanExecutor;
 
-// ---------------------------------------------------------------------------
-// A minimal JSON reader -- just enough to round-trip QueryProfile::ToJson
-// (objects, arrays, strings with the escapes the writer emits, numbers).
-// ---------------------------------------------------------------------------
-
-struct JsonValue {
-  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
-  Kind kind = Kind::kNull;
-  bool boolean = false;
-  double number = 0;
-  std::string str;
-  std::vector<JsonValue> array;
-  std::map<std::string, JsonValue> object;
-
-  const JsonValue& at(const std::string& key) const {
-    auto it = object.find(key);
-    EXPECT_NE(it, object.end()) << "missing key: " << key;
-    static const JsonValue kNull;
-    return it == object.end() ? kNull : it->second;
-  }
-  bool has(const std::string& key) const { return object.count(key) > 0; }
-};
-
-class JsonReader {
- public:
-  explicit JsonReader(const std::string& text) : text_(text) {}
-
-  /// Parses the full input; fails the test on any syntax error.
-  JsonValue Parse() {
-    JsonValue v = ParseValue();
-    SkipSpace();
-    EXPECT_EQ(pos_, text_.size()) << "trailing JSON input";
-    return v;
-  }
-
- private:
-  void SkipSpace() {
-    while (pos_ < text_.size() &&
-           std::isspace(static_cast<unsigned char>(text_[pos_]))) {
-      ++pos_;
-    }
-  }
-
-  char Peek() {
-    SkipSpace();
-    EXPECT_LT(pos_, text_.size()) << "unexpected end of JSON";
-    return pos_ < text_.size() ? text_[pos_] : '\0';
-  }
-
-  void Expect(char c) {
-    EXPECT_EQ(Peek(), c) << "at offset " << pos_;
-    ++pos_;
-  }
-
-  JsonValue ParseValue() {
-    const char c = Peek();
-    if (c == '{') return ParseObject();
-    if (c == '[') return ParseArray();
-    if (c == '"') return ParseString();
-    if (c == 't' || c == 'f') return ParseBool();
-    if (c == 'n') return ParseNull();
-    return ParseNumber();
-  }
-
-  JsonValue ParseObject() {
-    JsonValue v;
-    v.kind = JsonValue::Kind::kObject;
-    Expect('{');
-    if (Peek() == '}') {
-      ++pos_;
-      return v;
-    }
-    while (true) {
-      JsonValue key = ParseString();
-      Expect(':');
-      v.object[key.str] = ParseValue();
-      if (Peek() == ',') {
-        ++pos_;
-        continue;
-      }
-      Expect('}');
-      return v;
-    }
-  }
-
-  JsonValue ParseArray() {
-    JsonValue v;
-    v.kind = JsonValue::Kind::kArray;
-    Expect('[');
-    if (Peek() == ']') {
-      ++pos_;
-      return v;
-    }
-    while (true) {
-      v.array.push_back(ParseValue());
-      if (Peek() == ',') {
-        ++pos_;
-        continue;
-      }
-      Expect(']');
-      return v;
-    }
-  }
-
-  JsonValue ParseString() {
-    JsonValue v;
-    v.kind = JsonValue::Kind::kString;
-    Expect('"');
-    while (pos_ < text_.size() && text_[pos_] != '"') {
-      char c = text_[pos_++];
-      if (c == '\\' && pos_ < text_.size()) {
-        const char esc = text_[pos_++];
-        switch (esc) {
-          case 'n':
-            c = '\n';
-            break;
-          case 'u':
-            pos_ += 4;  // the writer only emits \u00XX controls
-            c = '?';
-            break;
-          default:
-            c = esc;  // \" and \\ decode to themselves
-        }
-      }
-      v.str.push_back(c);
-    }
-    Expect('"');
-    return v;
-  }
-
-  JsonValue ParseBool() {
-    JsonValue v;
-    v.kind = JsonValue::Kind::kBool;
-    v.boolean = text_.compare(pos_, 4, "true") == 0;
-    pos_ += v.boolean ? 4 : 5;
-    return v;
-  }
-
-  JsonValue ParseNull() {
-    JsonValue v;
-    pos_ += 4;
-    return v;
-  }
-
-  JsonValue ParseNumber() {
-    JsonValue v;
-    v.kind = JsonValue::Kind::kNumber;
-    const size_t start = pos_;
-    while (pos_ < text_.size() &&
-           (std::isdigit(static_cast<unsigned char>(text_[pos_])) ||
-            text_[pos_] == '-' || text_[pos_] == '+' || text_[pos_] == '.' ||
-            text_[pos_] == 'e' || text_[pos_] == 'E')) {
-      ++pos_;
-    }
-    EXPECT_GT(pos_, start) << "expected a number at offset " << start;
-    v.number = std::stod(text_.substr(start, pos_ - start));
-    return v;
-  }
-
-  const std::string& text_;
-  size_t pos_ = 0;
-};
+using ovc::testing::JsonReader;
+using ovc::testing::JsonValue;
 
 /// Replaces every millisecond rendering ("12.345ms") with "?ms" -- the same
 /// normalization tools/check_docs.sh applies, so EXPLAIN ANALYZE text is

@@ -55,12 +55,14 @@ def fail(msg):
 
 fence = re.compile(r"^```(\S*)(.*)$")
 
-# EXPLAIN ANALYZE lines carry wall-clock times (time=..ms, wall=..ms)
-# that differ run to run; normalize them on both sides so the docs can
-# embed real analyze output and everything else still matches byte for
+# EXPLAIN ANALYZE lines carry wall-clock times (time=..ms, wall=..ms) and
+# `.metrics` histogram lines carry microsecond latencies (sum=..us,
+# p50=..us) that differ run to run; normalize them on both sides so the
+# docs can embed real output and everything else still matches byte for
 # byte.
 def normalize(line):
-    return re.sub(r"\d[\d.]*ms", "?ms", line)
+    line = re.sub(r"\d[\d.]*ms", "?ms", line)
+    return re.sub(r"\d[\d.]*us", "?us", line)
 
 for path in files:
     with open(path) as f:

@@ -399,6 +399,93 @@ std::vector<Finding> LintTree(const std::string& root) {
     }
   }
 
+  // --- OVC-L008 / OVC-L009: metric + span registry sync --------------------
+  {
+    // Names used in src/: the first string literal inside each metric /
+    // span macro argument list. Macro *definitions* carry no literal and
+    // are skipped naturally.
+    const char* const kObsMacros[] = {"OVC_METRIC_COUNTER", "OVC_METRIC_GAUGE",
+                                      "OVC_METRIC_HISTOGRAM", "OVC_TRACE_SPAN",
+                                      "OVC_TRACE_SPAN_VAR"};
+    std::map<std::string, std::pair<const SourceFile*, int>> used;
+    for (const SourceFile& f : files) {
+      if (!StartsWith(f.rel, "src/")) continue;
+      for (const char* macro : kObsMacros) {
+        const std::string needle(macro);
+        for (size_t pos = 0;
+             (pos = f.code.find(needle, pos)) != std::string::npos;
+             pos += needle.size()) {
+          if (!TokenAt(f.code, pos, needle)) continue;
+          const size_t open = f.code.find_first_not_of(" \t\n", pos + needle.size());
+          if (open == std::string::npos || f.code[open] != '(') continue;
+          const std::string arg = BalancedArg(f.code, open);
+          const size_t q1 = arg.find('"');
+          if (q1 == std::string::npos) continue;  // the #define itself
+          const size_t q2 = arg.find('"', q1 + 1);
+          if (q2 == std::string::npos) continue;
+          const std::string name = arg.substr(q1 + 1, q2 - q1 - 1);
+          if (!used.count(name)) used[name] = {&f, LineOf(f.code, pos)};
+        }
+      }
+    }
+    // Names documented in the docs/OBSERVABILITY.md registry tables: rows
+    // whose FIRST cell is a backticked dotted name and whose SECOND cell
+    // names the kind (counter/gauge/histogram/span) -- other tables in the
+    // file (EXPLAIN field glossaries etc.) never carry a kind cell.
+    const fs::path doc_path = fs::path(root) / "docs" / "OBSERVABILITY.md";
+    std::map<std::string, int> documented;
+    std::ifstream doc(doc_path);
+    if (doc) {
+      std::string line;
+      int lineno = 0;
+      while (std::getline(doc, line)) {
+        ++lineno;
+        size_t p = line.find_first_not_of(" \t");
+        if (p == std::string::npos || line[p] != '|') continue;
+        const size_t cell_end = line.find('|', p + 1);
+        if (cell_end == std::string::npos) continue;
+        const size_t cell2_end = line.find('|', cell_end + 1);
+        if (cell2_end == std::string::npos) continue;
+        p = line.find('`', p);
+        if (p == std::string::npos || p > cell_end) continue;
+        const size_t q = line.find('`', p + 1);
+        if (q == std::string::npos || q > cell_end) continue;
+        const std::string name = line.substr(p + 1, q - p - 1);
+        const std::string kind =
+            Lowered(line.substr(cell_end + 1, cell2_end - cell_end - 1));
+        const bool kind_cell = kind.find("counter") != std::string::npos ||
+                               kind.find("gauge") != std::string::npos ||
+                               kind.find("histogram") != std::string::npos ||
+                               kind.find("span") != std::string::npos;
+        if (kind_cell && IsFailpointName(name) && !documented.count(name)) {
+          documented[name] = lineno;
+        }
+      }
+      for (const auto& [name, site] : used) {
+        if (!documented.count(name)) {
+          if (site.first->suppressed.count("OVC-L008")) continue;
+          all.push_back({"OVC-L008", site.first->rel, site.second,
+                         "metric/span \"" + name +
+                             "\" is not in the docs/OBSERVABILITY.md "
+                             "registry tables"});
+        }
+      }
+      for (const auto& [name, lineno] : documented) {
+        if (!used.count(name)) {
+          all.push_back({"OVC-L009", "docs/OBSERVABILITY.md", lineno,
+                         "registry entry \"" + name +
+                             "\" has no OVC_METRIC_* / OVC_TRACE_SPAN site "
+                             "in src/"});
+        }
+      }
+    } else if (!used.empty()) {
+      all.push_back({"OVC-L008", "docs/OBSERVABILITY.md", 0,
+                     "docs/OBSERVABILITY.md missing but " +
+                         std::to_string(used.size()) +
+                         " metric/span name(s) are used in src/"});
+    }
+  }
+
   // --- OVC-L006: include guards -------------------------------------------
   for (const SourceFile& f : files) {
     if (f.rel.size() < 2 || f.rel.substr(f.rel.size() - 2) != ".h") continue;

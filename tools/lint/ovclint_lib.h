@@ -22,6 +22,10 @@
 //   OVC-L007  no bare std::mutex / std::lock_guard / std::condition_variable
 //             in src/ outside common/mutex.h -- shared state must use the
 //             annotated wrappers so -Wthread-safety can check locking
+//   OVC-L008  every metric (OVC_METRIC_COUNTER/GAUGE/HISTOGRAM) and span
+//             (OVC_TRACE_SPAN[_VAR]) name in src/ appears in the registry
+//             tables of docs/OBSERVABILITY.md
+//   OVC-L009  ...and every documented metric/span name still exists in code
 //
 // Suppression is file-level, must live in a // comment, and must carry
 // a reason:

@@ -2,7 +2,14 @@
 //
 //   ./build/ovcsql [--parallelism=N] [--prefer-sort] [--sort-memory-rows=N]
 //                  [--hash-memory-rows=N] [--fallback=sort-merge|partition]
-//                  [--rule-based] [--profile=FILE]
+//                  [--rule-based] [--profile=FILE] [--trace=FILE]
+//                  [--metrics[=FILE]]
+//
+// --trace=FILE records every statement as a Chrome trace_event span tree
+// (chrome://tracing / Perfetto) including exchange worker threads;
+// --metrics prints the process-wide metrics snapshot (docs/OBSERVABILITY.md
+// registry) at exit, --metrics=FILE writes it as JSON, and the .metrics
+// meta command shows it mid-session.
 //
 // Reads statements from stdin, terminated by ';'. Lines starting with '.'
 // are meta commands (run `.help`). EXPLAIN prints the physical plan the
@@ -34,6 +41,8 @@
 
 #include <unistd.h>
 
+#include "common/metrics.h"
+#include "common/trace.h"
 #include "sql/catalog.h"
 #include "sql/parser.h"
 #include "sql/session.h"
@@ -51,6 +60,7 @@ void PrintHelp() {
       "       [base=B] [sorted]     generate a synthetic table; 'sorted'\n"
       "                             registers it pre-sorted with codes\n"
       "  .counters                  session comparison/spill counters\n"
+      "  .metrics                   process-wide metrics snapshot\n"
       "  .quit                      exit\n"
       "statements end with ';'. EXPLAIN SELECT ... prints the physical\n"
       "plan; EXPLAIN ANALYZE SELECT ... executes it and annotates every\n"
@@ -157,12 +167,23 @@ void PrintTables(const sql::Catalog& catalog) {
 }
 
 void PrintCounters(const QueryCounters& counters) {
+  // Every QueryCounters field, so .counters, the JSON profile, and the
+  // query.* metrics report the same set field-for-field.
   std::printf("column comparisons: %llu\ncode comparisons:   %llu\n"
-              "hash computations:  %llu\nrows spilled:       %llu\n",
+              "row comparisons:    %llu\nhash computations:  %llu\n"
+              "rows spilled:       %llu\nbytes spilled:      %llu\n"
+              "merge bypass rows:  %llu\nhash join fallbacks: %llu\n"
+              "hash agg fallbacks: %llu\nio retries:         %llu\n",
               static_cast<unsigned long long>(counters.column_comparisons),
               static_cast<unsigned long long>(counters.code_comparisons),
+              static_cast<unsigned long long>(counters.row_comparisons),
               static_cast<unsigned long long>(counters.hash_computations),
-              static_cast<unsigned long long>(counters.rows_spilled));
+              static_cast<unsigned long long>(counters.rows_spilled),
+              static_cast<unsigned long long>(counters.bytes_spilled),
+              static_cast<unsigned long long>(counters.merge_bypass_rows),
+              static_cast<unsigned long long>(counters.hash_join_fallbacks),
+              static_cast<unsigned long long>(counters.hash_agg_fallbacks),
+              static_cast<unsigned long long>(counters.io_retries));
 }
 
 bool RunStatement(sql::SqlSession* session, sql::Catalog* catalog,
@@ -209,6 +230,9 @@ bool RunStatement(sql::SqlSession* session, sql::Catalog* catalog,
 int main(int argc, char** argv) {
   sql::SqlSession::Options options;
   std::string profile_path;
+  std::string trace_path;
+  std::string metrics_path;
+  bool metrics_text = false;
   for (int i = 1; i < argc; ++i) {
     const char* arg = argv[i];
     if (std::strncmp(arg, "--parallelism=", 14) == 0) {
@@ -234,15 +258,25 @@ int main(int argc, char** argv) {
       options.planner.cost_policy = plan::CostPolicy::kRuleBased;
     } else if (std::strncmp(arg, "--profile=", 10) == 0) {
       profile_path = arg + 10;
+    } else if (std::strncmp(arg, "--trace=", 8) == 0) {
+      trace_path = arg + 8;
+    } else if (std::strcmp(arg, "--metrics") == 0) {
+      metrics_text = true;
+    } else if (std::strncmp(arg, "--metrics=", 10) == 0) {
+      metrics_path = arg + 10;
     } else {
       std::fprintf(stderr,
                    "usage: ovcsql [--parallelism=N] [--prefer-sort] "
                    "[--sort-memory-rows=N] [--hash-memory-rows=N] "
                    "[--fallback=sort-merge|partition] "
-                   "[--rule-based] [--profile=FILE]\n");
+                   "[--rule-based] [--profile=FILE] [--trace=FILE] "
+                   "[--metrics[=FILE]]\n");
       return 2;
     }
   }
+  // Tracing covers the whole session: every statement becomes one
+  // sql.statement span tree in the exported Chrome trace.
+  if (!trace_path.empty()) trace::Enable();
 
   std::FILE* profile_out = nullptr;
   if (!profile_path.empty()) {
@@ -301,6 +335,10 @@ int main(int argc, char** argv) {
         PrintTables(catalog);
       } else if (cmd == ".counters") {
         PrintCounters(*session.counters());
+      } else if (cmd == ".metrics") {
+        std::printf("%s", metrics::MetricRegistry::Instance()
+                              .TextSnapshot()
+                              .c_str());
       } else if (cmd == ".gen") {
         std::string rest;
         std::getline(ss, rest);
@@ -329,5 +367,33 @@ int main(int argc, char** argv) {
     }
   }
   if (profile_out != nullptr) std::fclose(profile_out);
+  if (!trace_path.empty()) {
+    const std::string json = trace::ExportJson();
+    std::FILE* f = std::fopen(trace_path.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "error: cannot open %s for writing\n",
+                   trace_path.c_str());
+      failed = true;
+    } else {
+      std::fprintf(f, "%s\n", json.c_str());
+      std::fclose(f);
+    }
+  }
+  if (!metrics_path.empty()) {
+    std::FILE* f = std::fopen(metrics_path.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "error: cannot open %s for writing\n",
+                   metrics_path.c_str());
+      failed = true;
+    } else {
+      std::fprintf(f, "%s\n",
+                   metrics::MetricRegistry::Instance().JsonSnapshot().c_str());
+      std::fclose(f);
+    }
+  }
+  if (metrics_text) {
+    std::printf("%s",
+                metrics::MetricRegistry::Instance().TextSnapshot().c_str());
+  }
   return !interactive && failed ? 1 : 0;
 }
