@@ -19,7 +19,9 @@
 # constants are calibrated from (see docs/COST_MODEL.md), the exchange
 # merge (OVC vs plain, threaded), the planner's parallel sort shape at
 # 1/2/4 workers (multi-worker scaling is bounded by the machine's core
-# count), the SQL end-to-end suite, and the two overhead checks --
+# count), the SQL end-to-end suite, the serving-layer QPS suite (ovcd
+# over loopback at 1/8/64 clients, plan cache cold vs warm -- see
+# docs/SERVING.md), and the two overhead checks --
 # profiling and metrics+tracing, each instrumented vs bare on the batched
 # pipeline (see docs/OBSERVABILITY.md); tools/compare_bench.py enforces
 # the 2% budget and cross-PR regressions on the committed aggregates.
@@ -29,11 +31,11 @@ set -euo pipefail
 cd "$(dirname "$0")/.."
 
 BUILD_DIR=build
-OUT=${BENCH_OUT:-BENCH_PR9.json}
+OUT=${BENCH_OUT:-BENCH_PR10.json}
 MIN_TIME=0.5
 BENCHES=(bench_batch_pipeline bench_pq_merge bench_sort_ovc
          bench_exchange_merge bench_parallel_sort bench_sql_e2e
-         bench_profile_overhead bench_metrics_overhead)
+         bench_profile_overhead bench_metrics_overhead bench_serving)
 
 while [[ $# -gt 0 ]]; do
   case "$1" in

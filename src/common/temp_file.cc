@@ -56,6 +56,20 @@ TempFileManager::TempFileManager(const std::string& base_dir) {
   dir_ = dir.string();
 }
 
+TempFileManager::TempFileManager(TempFileManager* parent) {
+  OVC_CHECK(parent != nullptr);
+  // Sub-directory ids come off the parent's path counter: NewPath ids and
+  // sub-manager ids share the sequence, which keeps both unique within the
+  // parent without a second counter.
+  fs::path dir = fs::path(parent->dir()) /
+                 ("sub-" + std::to_string(parent->next_id_.fetch_add(
+                               1, std::memory_order_relaxed)));
+  std::error_code ec;
+  fs::create_directories(dir, ec);
+  OVC_CHECK(!ec);
+  dir_ = dir.string();
+}
+
 TempFileManager::~TempFileManager() {
   std::error_code ec;
   fs::remove_all(dir_, ec);

@@ -20,11 +20,26 @@ namespace ovc {
 /// Hands out unique temporary file paths under a scratch directory and
 /// removes the directory on destruction. One instance is typically shared
 /// per query (or per test).
+///
+/// Serving processes nest managers: the server owns one *root* manager
+/// (one scratch tree for the whole process) and every session gets its own
+/// *sub-manager* inside it. The first-error slot below is per-manager
+/// state, so sub-managers are what keeps error reporting per-query: a
+/// single process-wide manager shared by concurrent executors would let
+/// query A's spill failure fail query B (RecordError lands in the shared
+/// slot) and query B's pre-run ClearError wipe query A's pending error.
+/// tests/server_test.cc pins this isolation.
 class TempFileManager {
  public:
   /// Creates a fresh scratch directory under the system temp dir (or under
   /// `base_dir` if non-empty). Aborts if the directory cannot be created.
   explicit TempFileManager(const std::string& base_dir = "");
+
+  /// Creates a sub-manager: a scratch directory nested inside `parent`'s,
+  /// with its own path counter and its own first-error slot. The parent
+  /// must outlive the sub-manager (the server's root manager outlives
+  /// every connection). Cheap: one mkdir, no temp-dir probing.
+  explicit TempFileManager(TempFileManager* parent);
 
   /// Removes the scratch directory and everything in it.
   ~TempFileManager();

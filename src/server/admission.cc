@@ -1,0 +1,97 @@
+#include "server/admission.h"
+
+#include <algorithm>
+
+#include "common/metrics.h"
+#include "common/profile.h"
+
+namespace ovc::server {
+
+namespace {
+
+metrics::Gauge& ActiveQueries() {
+  return OVC_METRIC_GAUGE("server.active_queries",
+                          "Statements currently holding an admission slot");
+}
+
+metrics::Gauge& ActiveHighWater() {
+  return OVC_METRIC_GAUGE(
+      "server.active_queries_high_water",
+      "Most admission slots ever held at once in this process");
+}
+
+}  // namespace
+
+AdmissionController::AdmissionController(uint32_t slots)
+    : slots_(std::max<uint32_t>(1, slots)) {}
+
+bool AdmissionController::Acquire() {
+  const uint64_t start_ticks = ProfileTicks();
+  bool waited = false;
+  {
+    MutexLock lock(mu_);
+    while (held_ >= slots_ && !shutdown_) {
+      waited = true;
+      slot_freed_.Wait(mu_);
+    }
+    if (shutdown_) return false;
+    ++held_;
+    const uint32_t now = held_;
+    active_.store(now, std::memory_order_relaxed);
+    // high_water_ only moves under mu_, so a plain max-store is race-free.
+    if (now > high_water_.load(std::memory_order_relaxed)) {
+      high_water_.store(now, std::memory_order_relaxed);
+      ActiveHighWater().Set(now);
+    }
+  }
+  ActiveQueries().Add(1);
+  if (waited) {
+    OVC_METRIC_COUNTER("server.admission_waits",
+                       "Statements that blocked waiting for a query slot")
+        .Increment();
+    OVC_METRIC_HISTOGRAM("server.admission_wait_us",
+                         "Time statements spent blocked on admission")
+        .Record(TicksToNs(ProfileTicks() - start_ticks) / 1000);
+  }
+  return true;
+}
+
+void AdmissionController::Release() {
+  {
+    MutexLock lock(mu_);
+    --held_;
+    active_.store(held_, std::memory_order_relaxed);
+  }
+  ActiveQueries().Sub(1);
+  slot_freed_.NotifyOne();
+}
+
+void AdmissionController::Shutdown() {
+  {
+    MutexLock lock(mu_);
+    shutdown_ = true;
+  }
+  slot_freed_.NotifyAll();
+}
+
+AdmissionController::Grant::Grant(AdmissionController* controller)
+    : controller_(controller), ok_(controller->Acquire()) {}
+
+AdmissionController::Grant::~Grant() {
+  if (ok_) controller_->Release();
+}
+
+plan::PlanExecutor::Options AdmissionController::Slice(
+    plan::PlanExecutor::Options machine, uint32_t slots,
+    uint32_t workers_per_query) {
+  slots = std::max<uint32_t>(1, slots);
+  plan::PlannerOptions& planner = machine.planner;
+  planner.parallelism = std::max<uint32_t>(1, workers_per_query);
+  planner.hash_memory_rows =
+      std::max(kMinHashMemoryRows, planner.hash_memory_rows / slots);
+  planner.sort_config.memory_rows =
+      std::max(kMinSortMemoryRows, planner.sort_config.memory_rows / slots);
+  return machine;
+}
+
+}  // namespace ovc::server

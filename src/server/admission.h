@@ -1,0 +1,95 @@
+// Admission control for concurrent query serving.
+//
+// Two halves:
+//
+//  1. A query-slot gate: at most `slots` statements execute at once;
+//     extras block (FIFO-ish via condvar) until a slot frees. This bounds
+//     peak memory and thread usage regardless of how many connections are
+//     open.
+//  2. Budget slicing: the machine-wide planner budgets (parallelism,
+//     hash/sort memory rows) are divided across those slots so the worst
+//     case -- every slot occupied -- still fits the machine. Each admitted
+//     query plans with `workers_per_query` exchange workers and
+//     1/`slots` of the memory budgets, which also fixes the pre-serving
+//     assumption that one query owned the whole exchange pool.
+//
+// Metrics: server.active_queries (gauge), server.active_queries_high_water
+// (gauge; also readable per controller for tests, since the process gauge
+// is cumulative across server instances), server.admission_waits (counter:
+// acquisitions that had to block), server.admission_wait_us (histogram).
+
+#ifndef OVC_SERVER_ADMISSION_H_
+#define OVC_SERVER_ADMISSION_H_
+
+#include <atomic>
+#include <cstdint>
+
+#include "common/mutex.h"
+#include "plan/plan_executor.h"
+
+namespace ovc::server {
+
+class AdmissionController {
+ public:
+  explicit AdmissionController(uint32_t slots);
+
+  /// Blocks until a slot is free. Returns false when Shutdown ran (no
+  /// slot held then).
+  [[nodiscard]] bool Acquire();
+  void Release();
+
+  /// Unblocks all waiters and makes every future Acquire fail fast.
+  void Shutdown();
+
+  /// RAII slot. `ok()` is false after Shutdown; no slot is held then and
+  /// the caller must not execute.
+  class Grant {
+   public:
+    explicit Grant(AdmissionController* controller);
+    ~Grant();
+    Grant(const Grant&) = delete;
+    Grant& operator=(const Grant&) = delete;
+    bool ok() const { return ok_; }
+
+   private:
+    AdmissionController* controller_;
+    bool ok_;
+  };
+
+  uint32_t slots() const { return slots_; }
+  /// Queries currently holding a slot.
+  uint32_t active() const { return active_.load(std::memory_order_relaxed); }
+  /// Most slots ever held at once by this controller. The stress tests
+  /// assert this never exceeds slots().
+  uint32_t high_water() const {
+    return high_water_.load(std::memory_order_relaxed);
+  }
+
+  /// Divides machine-wide budgets in `machine` into the per-query slice
+  /// each admitted statement plans with: parallelism becomes
+  /// `workers_per_query`, hash/sort memory budgets are divided by `slots`
+  /// (floored at kMinHashMemoryRows / kMinSortMemoryRows so a huge slot
+  /// count cannot degenerate every sort into thrashing single-row runs).
+  static plan::PlanExecutor::Options Slice(plan::PlanExecutor::Options machine,
+                                           uint32_t slots,
+                                           uint32_t workers_per_query);
+
+  static constexpr uint64_t kMinHashMemoryRows = 64;
+  static constexpr uint64_t kMinSortMemoryRows = 64;
+
+ private:
+  const uint32_t slots_;
+
+  Mutex mu_;
+  CondVar slot_freed_;
+  uint32_t held_ OVC_GUARDED_BY(mu_) = 0;
+  bool shutdown_ OVC_GUARDED_BY(mu_) = false;
+
+  // Mirrors of held_ readable without the lock (metrics + test accessors).
+  std::atomic<uint32_t> active_{0};
+  std::atomic<uint32_t> high_water_{0};
+};
+
+}  // namespace ovc::server
+
+#endif  // OVC_SERVER_ADMISSION_H_

@@ -1,0 +1,126 @@
+// Process-wide prepared-plan cache for the ovcd server.
+//
+// Caching happens at the *bound* level: an entry owns the BoundQuery
+// (logical plan + output columns) produced by parse + bind, which is the
+// text-processing cost worth amortizing. Physical planning is NOT cached
+// -- each execution re-runs the planner against the shared logical tree
+// via SqlSession::Instantiate, which binds fresh operators to the calling
+// session's counters and temp-file manager. That split is what lets two
+// clients run the same cached statement concurrently: planning is
+// microseconds, and the resulting PhysicalPlans share nothing mutable but
+// the logical tree they point into.
+//
+// The planner annotates that shared logical tree in place (order
+// requirements), so Instantiate calls against one entry must hold the
+// entry's plan_mu. Execution of the instantiated plans needs no lock.
+//
+// Keying: the normalized statement text (lowercased identifiers,
+// canonical keywords, comments and whitespace collapsed -- see
+// NormalizeSql) prefixed by the cache's options fingerprint, so
+// `SELECT a FROM t` and `select  A from t -- x` share one entry, and a
+// cache built for one planner configuration can never serve another.
+// EXPLAIN [ANALYZE] statements and statements that fail to parse or bind
+// are not cached.
+//
+// The catalog is frozen while a server runs (tables are registered before
+// Serve), so entries never need invalidation; Clear() exists for tests
+// and for cold-cache benchmarking.
+
+#ifndef OVC_SERVER_PLAN_CACHE_H_
+#define OVC_SERVER_PLAN_CACHE_H_
+
+#include <atomic>
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+
+#include "common/mutex.h"
+#include "sql/binder.h"
+#include "sql/sql_error.h"
+
+namespace ovc::server {
+
+/// Rewrites `sql` into its cache-key spelling: tokens' normalized forms
+/// (lowercased identifiers, UPPERCASE keywords) joined by single spaces.
+/// Returns false when the text does not lex; such statements bypass the
+/// cache and fail in the regular prepare path with a real error position.
+bool NormalizeSql(std::string_view sql, std::string* normalized);
+
+class PlanCache {
+ public:
+  /// One cached statement. Shared out so an entry evicted mid-use stays
+  /// alive until every borrowing session drops it.
+  struct Entry {
+    sql::BoundQuery bound;
+    /// Serializes SqlSession::Instantiate calls over `bound` (physical
+    /// planning annotates the shared logical tree in place). Never held
+    /// during execution.
+    Mutex plan_mu;
+  };
+
+  /// `capacity` 0 disables caching entirely (every lookup misses and
+  /// nothing is stored) -- the cold-cache benchmark configuration.
+  /// `options_fingerprint` names the planner configuration this cache's
+  /// plans were bound under; it is folded into every key.
+  PlanCache(size_t capacity, std::string options_fingerprint);
+
+  struct Lookup {
+    /// Set when the statement is cacheable and parse + bind succeeded
+    /// (whether found or just inserted).
+    std::shared_ptr<Entry> entry;
+    bool hit = false;
+    /// False for EXPLAIN [ANALYZE] statements and statements that fail
+    /// to lex: the caller falls back to SqlSession::Prepare.
+    bool cacheable = true;
+    /// Parse / bind failure of a cacheable statement, reported with the
+    /// source position; `entry` is null and nothing was cached.
+    bool has_error = false;
+    sql::SqlError error;
+  };
+
+  /// The one cache operation: returns the entry for `sql`, binding and
+  /// inserting it (evicting the least recently used entry past capacity)
+  /// on a miss. Thread safe; binds run under the cache lock, which is
+  /// acceptable because a bind is microseconds against execution times in
+  /// the tens of milliseconds.
+  Lookup GetOrBind(std::string_view sql, const sql::Catalog* catalog);
+
+  /// Drops every entry (borrowed shared_ptrs stay valid). Counters are
+  /// not reset.
+  void Clear();
+
+  size_t size() const;
+  size_t capacity() const { return capacity_; }
+
+  // Lifetime totals, mirrored into the server.plan_cache.* metrics.
+  uint64_t hits() const { return hits_.load(std::memory_order_relaxed); }
+  uint64_t misses() const { return misses_.load(std::memory_order_relaxed); }
+  uint64_t evictions() const {
+    return evictions_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  struct Slot {
+    std::shared_ptr<Entry> entry;
+    /// Position in lru_ (front = most recently used).
+    std::list<std::string>::iterator lru_pos;
+  };
+
+  const size_t capacity_;
+  const std::string options_fingerprint_;
+
+  mutable Mutex mu_;
+  std::unordered_map<std::string, Slot> entries_ OVC_GUARDED_BY(mu_);
+  std::list<std::string> lru_ OVC_GUARDED_BY(mu_);
+
+  std::atomic<uint64_t> hits_{0};
+  std::atomic<uint64_t> misses_{0};
+  std::atomic<uint64_t> evictions_{0};
+};
+
+}  // namespace ovc::server
+
+#endif  // OVC_SERVER_PLAN_CACHE_H_

@@ -1,0 +1,89 @@
+#include "sql/gen_spec.h"
+
+#include <cstdlib>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace ovc::sql {
+
+namespace {
+
+void Trim(std::string* s) {
+  while (!s->empty() && (s->back() == ' ' || s->back() == '\t')) s->pop_back();
+  while (!s->empty() && (s->front() == ' ' || s->front() == '\t')) {
+    s->erase(s->begin());
+  }
+}
+
+}  // namespace
+
+const char* GenSpecUsage() {
+  return "usage: <name>(<col,...>) rows=N [keys=K] [distinct=D] [seed=S] "
+         "[base=B] [sorted]";
+}
+
+Status RegisterGeneratedFromSpec(Catalog* catalog, const std::string& spec) {
+  const size_t lparen = spec.find('(');
+  const size_t rparen = spec.find(')');
+  if (lparen == std::string::npos || rparen == std::string::npos ||
+      rparen < lparen) {
+    return Status::InvalidArgument(GenSpecUsage());
+  }
+  std::string name = spec.substr(0, lparen);
+  Trim(&name);
+  std::vector<std::string> columns;
+  std::stringstream cols(spec.substr(lparen + 1, rparen - lparen - 1));
+  std::string col;
+  while (std::getline(cols, col, ',')) {
+    std::string trimmed;
+    for (char c : col) {
+      if (c != ' ' && c != '\t') trimmed += c;
+    }
+    if (!trimmed.empty()) columns.push_back(trimmed);
+  }
+  if (name.empty() || columns.empty()) {
+    return Status::InvalidArgument("gen spec needs a table name and "
+                                   "column list");
+  }
+
+  uint64_t rows = 0;
+  uint32_t keys = static_cast<uint32_t>(columns.size());
+  Catalog::GeneratedSpec gen;
+  std::stringstream rest(spec.substr(rparen + 1));
+  std::string word;
+  while (rest >> word) {
+    if (word == "sorted") {
+      gen.sorted = true;
+      continue;
+    }
+    const size_t eq = word.find('=');
+    if (eq == std::string::npos) {
+      return Status::InvalidArgument("unknown gen argument '" + word + "'");
+    }
+    const std::string key = word.substr(0, eq);
+    const uint64_t value = std::strtoull(word.c_str() + eq + 1, nullptr, 10);
+    if (key == "rows") {
+      rows = value;
+    } else if (key == "keys") {
+      keys = static_cast<uint32_t>(value);
+    } else if (key == "distinct") {
+      gen.distinct_per_column = value;
+    } else if (key == "seed") {
+      gen.seed = value;
+    } else if (key == "base") {
+      gen.value_base = value;
+    } else {
+      return Status::InvalidArgument("unknown gen argument '" + word + "'");
+    }
+  }
+  if (rows == 0 || keys == 0 || keys > columns.size()) {
+    return Status::InvalidArgument(
+        "gen spec needs rows=N and 1 <= keys <= #columns");
+  }
+
+  Schema schema(keys, static_cast<uint32_t>(columns.size()) - keys);
+  return catalog->RegisterGenerated(name, columns, schema, rows, gen);
+}
+
+}  // namespace ovc::sql

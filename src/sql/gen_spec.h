@@ -1,0 +1,32 @@
+// Textual generated-table specs, shared by every front end that conjures
+// synthetic catalogs: the ovcsql `.gen` meta command, the ovcd server's
+// `--gen` startup flag, and tests/benchmarks that want a one-line table.
+//
+//   name(col,...) rows=N [keys=K] [distinct=D] [seed=S] [base=B] [sorted]
+//
+// registers `name` via Catalog::RegisterGenerated: `keys` leading columns
+// become sort-key columns, `sorted` materializes the table pre-sorted with
+// offset-value codes (scans then seed order properties and downstream
+// sorts are elided).
+
+#ifndef OVC_SQL_GEN_SPEC_H_
+#define OVC_SQL_GEN_SPEC_H_
+
+#include <string>
+
+#include "common/status.h"
+#include "sql/catalog.h"
+
+namespace ovc::sql {
+
+/// Parses one spec line (format above) and registers the table in
+/// `catalog`. InvalidArgument on malformed specs; registration errors
+/// (duplicate names, ...) pass through from the catalog.
+Status RegisterGeneratedFromSpec(Catalog* catalog, const std::string& spec);
+
+/// The usage string front ends print on a malformed spec.
+const char* GenSpecUsage();
+
+}  // namespace ovc::sql
+
+#endif  // OVC_SQL_GEN_SPEC_H_

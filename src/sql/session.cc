@@ -52,6 +52,26 @@ void RecordQueryMetrics(const QueryCounters& d) {
 SqlSession::SqlSession(const Catalog* catalog, Options options)
     : catalog_(catalog), executor_(&counters_, &temp_, options) {}
 
+SqlSession::SqlSession(const Catalog* catalog, Options options,
+                       TempFileManager* parent_temp)
+    : catalog_(catalog),
+      temp_(parent_temp),
+      executor_(&counters_, &temp_, options) {}
+
+std::unique_ptr<PreparedQuery> SqlSession::Instantiate(BoundQuery* bound) {
+  auto prepared = std::make_unique<PreparedQuery>();
+  prepared->columns = bound->columns;
+  // prepared->bound stays empty: the shared BoundQuery owns the logical
+  // tree and the predicates this plan's operators point into; the caller
+  // keeps it alive (the plan cache hands out shared_ptr entries).
+  {
+    OVC_TRACE_SPAN("sql.plan");
+    prepared->physical = std::make_unique<plan::PhysicalPlan>(
+        executor_.Plan(bound->plan.get()));
+  }
+  return prepared;
+}
+
 SqlResult<std::unique_ptr<PreparedQuery>> SqlSession::Prepare(
     std::string_view sql) {
   SqlResult<Statement> stmt = [&] {

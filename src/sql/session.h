@@ -77,8 +77,28 @@ class SqlSession {
   /// session and everything it prepares.
   explicit SqlSession(const Catalog* catalog, Options options = Options());
 
+  /// As above, with the session's temp-file scratch space nested inside
+  /// `parent_temp` -- the serving layout: the server owns one root scratch
+  /// tree, each connection's session gets its own sub-manager, so the
+  /// first-error slot (and therefore spill-error reporting) stays
+  /// per-session/per-query instead of bleeding through a process-wide
+  /// manager. `parent_temp` must outlive the session.
+  SqlSession(const Catalog* catalog, Options options,
+             TempFileManager* parent_temp);
+
   /// Parses, binds, and plans one statement.
   SqlResult<std::unique_ptr<PreparedQuery>> Prepare(std::string_view sql);
+
+  /// Plans an already-bound query (e.g. one shared through a server plan
+  /// cache) into a fresh PreparedQuery whose operators charge *this*
+  /// session's counters and spill into *this* session's temp files --
+  /// the step that lets many sessions run one cached bound plan
+  /// concurrently, each through its own instantiation. Skips parse and
+  /// bind entirely. `bound` must outlive the returned query, and because
+  /// planning annotates the shared logical tree in place, concurrent
+  /// Instantiate calls over the same BoundQuery must be serialized
+  /// externally (the plan cache's per-entry mutex does exactly that).
+  std::unique_ptr<PreparedQuery> Instantiate(BoundQuery* bound);
 
   /// Physical plan text for one statement (EXPLAIN prefix optional).
   SqlResult<std::string> Explain(std::string_view sql);

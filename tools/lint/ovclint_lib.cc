@@ -22,7 +22,7 @@ namespace {
 /// row below core: row containers store code words, core's codec algebra
 /// needs row schemas).
 const char* const kLayers[] = {"common", "row",     "core", "pq",  "sort",
-                               "exec",   "storage", "plan", "sql"};
+                               "exec",   "storage", "plan", "sql", "server"};
 
 int LayerRank(const std::string& dir) {
   for (size_t i = 0; i < sizeof(kLayers) / sizeof(kLayers[0]); ++i) {

@@ -1,0 +1,135 @@
+// ovcclient: command-line client for ovcd (docs/SERVING.md).
+//
+//   echo 'SELECT a, b FROM t ORDER BY a;' |
+//       ./build/ovcclient --port=N [--host=ADDR] [--metrics[=FILE]]
+//
+// Reads ';'-separated statements from stdin (ovcsql syntax, including
+// `--` comments) and runs each over one connection with QUERY frames,
+// printing results in ovcsql's tab-separated format. --metrics fetches
+// the server's process-wide metrics snapshot after the statements and
+// prints it (or writes the JSON to FILE) -- the CI smoke json-validates
+// that output. Exit status is non-zero when any statement failed or the
+// connection died.
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <iostream>
+#include <string>
+
+#include "server/client.h"
+
+using namespace ovc;
+
+namespace {
+
+void PrintResult(const server::Client::Result& result) {
+  if (!result.explain_text.empty()) {
+    std::printf("%s", result.explain_text.c_str());
+    return;
+  }
+  for (size_t i = 0; i < result.columns.size(); ++i) {
+    std::printf(i == 0 ? "%s" : "\t%s", result.columns[i].c_str());
+  }
+  std::printf("\n");
+  for (const std::vector<uint64_t>& row : result.rows) {
+    for (size_t c = 0; c < row.size(); ++c) {
+      std::printf(c == 0 ? "%llu" : "\t%llu",
+                  static_cast<unsigned long long>(row[c]));
+    }
+    std::printf("\n");
+  }
+  std::printf("(%llu rows)\n",
+              static_cast<unsigned long long>(result.total_rows));
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string host = "127.0.0.1";
+  uint16_t port = 0;
+  bool metrics_text = false;
+  std::string metrics_path;
+  for (int i = 1; i < argc; ++i) {
+    const char* arg = argv[i];
+    if (std::strncmp(arg, "--host=", 7) == 0) {
+      host = arg + 7;
+    } else if (std::strncmp(arg, "--port=", 7) == 0) {
+      port = static_cast<uint16_t>(std::strtoul(arg + 7, nullptr, 10));
+    } else if (std::strcmp(arg, "--metrics") == 0) {
+      metrics_text = true;
+    } else if (std::strncmp(arg, "--metrics=", 10) == 0) {
+      metrics_path = arg + 10;
+    } else {
+      std::fprintf(stderr,
+                   "usage: ovcclient --port=N [--host=ADDR] "
+                   "[--metrics[=FILE]] < statements.sql\n");
+      return 2;
+    }
+  }
+  if (port == 0) {
+    std::fprintf(stderr, "error: --port=N is required\n");
+    return 2;
+  }
+
+  server::Client client;
+  Status status = client.Connect(host, port);
+  if (!status.ok()) {
+    std::fprintf(stderr, "error: %s\n", status.ToString().c_str());
+    return 1;
+  }
+
+  bool failed = false;
+  std::string pending;
+  std::string line;
+  while (std::getline(std::cin, line)) {
+    const size_t comment = line.find("--");
+    if (comment != std::string::npos) line.erase(comment);
+    pending += line;
+    pending += '\n';
+    size_t semi;
+    while ((semi = pending.find(';')) != std::string::npos) {
+      std::string statement = pending.substr(0, semi);
+      pending.erase(0, semi + 1);
+      bool blank = true;
+      for (char c : statement) {
+        if (c != ' ' && c != '\t' && c != '\n' && c != '\r') blank = false;
+      }
+      if (blank) continue;
+      server::Client::Result result;
+      status = client.Query(statement, &result);
+      if (!status.ok()) {
+        std::fprintf(stderr, "error: %s\n", status.ToString().c_str());
+        return 1;
+      }
+      if (!result.ok) {
+        std::fprintf(stderr, "error: %u:%u: %s\n", result.error_line,
+                     result.error_column, result.error_message.c_str());
+        failed = true;
+        continue;
+      }
+      PrintResult(result);
+    }
+  }
+
+  if (metrics_text || !metrics_path.empty()) {
+    std::string json;
+    status = client.Metrics(&json);
+    if (!status.ok()) {
+      std::fprintf(stderr, "error: %s\n", status.ToString().c_str());
+      return 1;
+    }
+    if (!metrics_path.empty()) {
+      std::FILE* f = std::fopen(metrics_path.c_str(), "w");
+      if (f == nullptr) {
+        std::fprintf(stderr, "error: cannot open %s for writing\n",
+                     metrics_path.c_str());
+        return 1;
+      }
+      std::fprintf(f, "%s\n", json.c_str());
+      std::fclose(f);
+    }
+    if (metrics_text) std::printf("%s\n", json.c_str());
+  }
+  return failed ? 1 : 0;
+}

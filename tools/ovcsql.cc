@@ -44,6 +44,7 @@
 #include "common/metrics.h"
 #include "common/trace.h"
 #include "sql/catalog.h"
+#include "sql/gen_spec.h"
 #include "sql/parser.h"
 #include "sql/session.h"
 
@@ -71,84 +72,31 @@ void PrintHelp() {
 }
 
 /// .gen orders(orderkey,custkey) rows=1000 keys=1 distinct=100 sorted
+/// Spec parsing + registration live in sql/gen_spec.h (shared with ovcd's
+/// --gen flag); this wrapper adds the shell's confirmation line.
 bool RunGen(sql::Catalog* catalog, const std::string& args) {
-  const size_t lparen = args.find('(');
-  const size_t rparen = args.find(')');
-  if (lparen == std::string::npos || rparen == std::string::npos ||
-      rparen < lparen) {
-    std::printf("usage: .gen <name>(<col,...>) rows=N [keys=K] [distinct=D] "
-                "[seed=S] [base=B] [sorted]\n");
+  Status status = sql::RegisterGeneratedFromSpec(catalog, args);
+  if (!status.ok()) {
+    std::printf("error: %s\n", status.ToString().c_str());
     return false;
   }
-  std::string name = args.substr(0, lparen);
+  std::string name = args.substr(0, args.find('('));
   while (!name.empty() && (name.back() == ' ' || name.back() == '\t')) {
     name.pop_back();
   }
   while (!name.empty() && (name.front() == ' ' || name.front() == '\t')) {
     name.erase(name.begin());
   }
-  std::vector<std::string> columns;
-  std::stringstream cols(args.substr(lparen + 1, rparen - lparen - 1));
-  std::string col;
-  while (std::getline(cols, col, ',')) {
-    std::string trimmed;
-    for (char c : col) {
-      if (c != ' ' && c != '\t') trimmed += c;
-    }
-    if (!trimmed.empty()) columns.push_back(trimmed);
-  }
-  if (name.empty() || columns.empty()) {
-    std::printf("error: .gen needs a table name and column list\n");
-    return false;
-  }
-
-  uint64_t rows = 0;
-  uint32_t keys = static_cast<uint32_t>(columns.size());
-  sql::Catalog::GeneratedSpec spec;
-  std::stringstream rest(args.substr(rparen + 1));
-  std::string word;
-  while (rest >> word) {
-    if (word == "sorted") {
-      spec.sorted = true;
-      continue;
-    }
-    const size_t eq = word.find('=');
-    if (eq == std::string::npos) {
-      std::printf("error: unknown .gen argument '%s'\n", word.c_str());
-      return false;
-    }
-    const std::string key = word.substr(0, eq);
-    const uint64_t value = std::strtoull(word.c_str() + eq + 1, nullptr, 10);
-    if (key == "rows") {
-      rows = value;
-    } else if (key == "keys") {
-      keys = static_cast<uint32_t>(value);
-    } else if (key == "distinct") {
-      spec.distinct_per_column = value;
-    } else if (key == "seed") {
-      spec.seed = value;
-    } else if (key == "base") {
-      spec.value_base = value;
-    } else {
-      std::printf("error: unknown .gen argument '%s'\n", word.c_str());
-      return false;
-    }
-  }
-  if (rows == 0 || keys == 0 || keys > columns.size()) {
-    std::printf("error: .gen needs rows=N and 1 <= keys <= #columns\n");
-    return false;
-  }
-
-  Schema schema(keys, static_cast<uint32_t>(columns.size()) - keys);
-  Status status = catalog->RegisterGenerated(name, columns, schema, rows, spec);
-  if (!status.ok()) {
-    std::printf("error: %s\n", status.ToString().c_str());
-    return false;
-  }
+  const sql::CatalogTable* table = catalog->Find(name);
+  const uint32_t key_arity = table->schema().key_arity();
   std::printf("table %s: %llu rows, %u key + %u payload columns%s\n",
-              name.c_str(), static_cast<unsigned long long>(rows), keys,
-              static_cast<uint32_t>(columns.size()) - keys,
-              spec.sorted ? ", pre-sorted with codes" : "");
+              name.c_str(),
+              static_cast<unsigned long long>(table->source.stats.row_count),
+              key_arity,
+              static_cast<uint32_t>(table->columns.size()) - key_arity,
+              table->source.order.sorted_prefix > 0
+                  ? ", pre-sorted with codes"
+                  : "");
   return true;
 }
 
